@@ -1,0 +1,226 @@
+// Top-level benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation, regenerating the full artifact per
+// iteration and reporting the headline metrics (average percentage
+// improvement over the straightforward distribution) alongside the
+// timing. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The same artifacts are printed as tables by cmd/pimbench.
+package pim_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// BenchmarkFigure1Example regenerates the Section 3.3 / Figure 1 worked
+// example: the single data item scheduled by all three algorithms.
+func BenchmarkFigure1Example(b *testing.B) {
+	var last experiments.ExampleResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Example331()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Costs["SCDS"]), "cost-SCDS")
+	b.ReportMetric(float64(last.Costs["LOMCDS"]), "cost-LOMCDS")
+	b.ReportMetric(float64(last.Costs["GOMCDS"]), "cost-GOMCDS")
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1: total communication
+// cost of S.F., SCDS, LOMCDS and GOMCDS on all five benchmarks at
+// 8x8, 16x16 and 32x32 on a 4x4 array.
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, rows)
+}
+
+// BenchmarkTable2 regenerates the paper's Table 2: the same costs after
+// execution-window grouping (Algorithm 3 with LOMCDS centers).
+func BenchmarkTable2(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAverages(b, rows)
+}
+
+// BenchmarkTable1PerScheduler isolates the per-scheduler cost of the
+// Table 1 sweep at the largest size, for profiling the algorithms.
+func BenchmarkTable1PerScheduler(b *testing.B) {
+	for _, scheme := range []string{"SCDS", "LOMCDS", "GOMCDS"} {
+		b.Run(scheme, func(b *testing.B) {
+			cfg := experiments.DefaultConfig()
+			cfg.Sizes = []int{32}
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table1(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := rows[0].Scheme(scheme); !ok {
+					b.Fatal("scheme missing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatedExecution regenerates the E5 execution-time study:
+// every benchmark at 16x16, all four schemes, on the contended mesh.
+func BenchmarkSimulatedExecution(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var rows []experiments.SimRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.SimStudy(cfg, 16, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline: cycle ratio of GOMCDS to the straightforward baseline.
+	var sf, gom float64
+	for _, r := range rows {
+		switch r.Scheme {
+		case "S.F.":
+			sf += float64(r.Cycles)
+		case "GOMCDS":
+			gom += float64(r.Cycles)
+		}
+	}
+	if sf > 0 {
+		b.ReportMetric(100*gom/sf, "%cycles-vs-SF")
+	}
+}
+
+// BenchmarkGroupingAblation regenerates the E6 ablation: greedy
+// Algorithm 3 (strict and accept-equal) against the exact DP grouper.
+func BenchmarkGroupingAblation(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.Sizes = []int{16}
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.GroupingAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ungrouped, greedy, optimal float64
+	for _, r := range rows {
+		ungrouped += float64(r.Ungrouped)
+		greedy += float64(r.Greedy)
+		optimal += float64(r.Optimal)
+	}
+	if ungrouped > 0 {
+		b.ReportMetric(100*greedy/ungrouped, "%greedy-vs-ungrouped")
+		b.ReportMetric(100*optimal/ungrouped, "%optimal-vs-ungrouped")
+	}
+}
+
+// BenchmarkWindowSweep regenerates the window-granularity sweep: how
+// coarsening execution windows changes LOMCDS and GOMCDS costs.
+func BenchmarkWindowSweep(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WindowSweep(cfg, 16, []int{1, 2, 4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func reportAverages(b *testing.B, rows []experiments.Row) {
+	b.Helper()
+	b.ReportMetric(experiments.AverageImprovement(rows, "SCDS"), "%improve-SCDS")
+	b.ReportMetric(experiments.AverageImprovement(rows, "LOMCDS"), "%improve-LOMCDS")
+	b.ReportMetric(experiments.AverageImprovement(rows, "GOMCDS"), "%improve-GOMCDS")
+}
+
+// BenchmarkOnlineStudy regenerates the E7 online-vs-offline study at
+// 16x16 and reports the hysteresis policy's competitive ratio.
+func BenchmarkOnlineStudy(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var rows []experiments.OnlineRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.OnlineStudy(cfg, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Scheme == "online-hysteresis" {
+			sum += r.RatioVsOffline
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "x-offline-hysteresis")
+	}
+}
+
+// BenchmarkReplicationStudy regenerates the E8 replication sweep at
+// 16x16 and reports the 4-copy cost relative to single-copy GOMCDS.
+func BenchmarkReplicationStudy(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var rows []experiments.ReplicaRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ReplicationStudy(cfg, 16, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.MaxCopies == 4 {
+			sum += r.VsSingle
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "x-gomcds-4copies")
+	}
+}
+
+// BenchmarkExactAssignment regenerates the E9 greedy-vs-exact study at
+// 16x16 under minimum memory and reports the greedy overhead.
+func BenchmarkExactAssignment(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	var rows []experiments.ExactRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExactAssignmentStudy(cfg, 16, []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var greedy, exact float64
+	for _, r := range rows {
+		greedy += float64(r.GreedySCDS)
+		exact += float64(r.ExactSCDS)
+	}
+	if exact > 0 {
+		b.ReportMetric(greedy/exact, "greedy-vs-exact-SCDS")
+	}
+}

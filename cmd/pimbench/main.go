@@ -1,0 +1,204 @@
+// Command pimbench regenerates the paper's evaluation artifacts.
+//
+//	pimbench -table 1                 # Table 1: costs before grouping
+//	pimbench -table 2                 # Table 2: costs after grouping
+//	pimbench -table example           # the Section 3.3 worked example
+//	pimbench -table ablation          # grouping-strategy ablation (E6)
+//	pimbench -table sweep -n 16       # window-granularity sweep
+//	pimbench -table sim -n 16         # simulated execution time (E5)
+//	pimbench -table all               # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
+	table := fs.String("table", "all", "artifact: 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse or all")
+	gridSpec := fs.String("grid", "4x4", "processor array, WxH")
+	sizesSpec := fs.String("sizes", "8,16,32", "data matrix dimensions")
+	capFactor := fs.Int("capacity", 2, "memory capacity as a multiple of the minimum")
+	n := fs.Int("n", 16, "data size for the sweep and sim artifacts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := cliutil.ParseGrid(*gridSpec)
+	if err != nil {
+		return err
+	}
+	sizes, err := cliutil.ParseSizes(*sizesSpec)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Grid: g, Sizes: sizes, CapacityFactor: *capFactor}
+
+	want := func(name string) bool { return *table == name || *table == "all" }
+	ran := false
+
+	if want("example") {
+		ran = true
+		res, err := experiments.Example331()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatExample(g, res))
+		fmt.Fprintln(out)
+	}
+	if want("1") {
+		ran = true
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderRows("Table 1: total communication cost before grouping", rows).Render(out); err != nil {
+			return err
+		}
+		printAverages(out, rows)
+	}
+	if want("2") {
+		ran = true
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderRows("Table 2: total communication cost after grouping", rows).Render(out); err != nil {
+			return err
+		}
+		printAverages(out, rows)
+	}
+	if want("ablation") {
+		ran = true
+		rows, err := experiments.GroupingAblation(cfg)
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable("Grouping ablation (LOMCDS centers)",
+			"B.", "Size", "ungrouped", "greedy", "greedy<=", "optimalDP", "greedyGroups", "optGroups")
+		for _, r := range rows {
+			tbl.AddF(r.BenchmarkID, fmt.Sprintf("%dx%d", r.Size, r.Size),
+				r.Ungrouped, r.Greedy, r.GreedyEq, r.Optimal, r.GreedyGroups, r.OptimalGroups)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("sweep") {
+		ran = true
+		rows, err := experiments.WindowSweep(cfg, *n, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable(fmt.Sprintf("Window-granularity sweep (size %dx%d)", *n, *n),
+			"B.", "merge", "windows", "LOMCDS", "GOMCDS")
+		for _, r := range rows {
+			tbl.AddF(r.BenchmarkID, r.MergeFactor, r.Windows, r.LOMCDS, r.GOMCDS)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("sim") {
+		ran = true
+		rows, err := experiments.SimStudy(cfg, *n, sim.Options{})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderSimRows(
+			fmt.Sprintf("Simulated execution (size %dx%d, contended mesh)", *n, *n), rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("online") {
+		ran = true
+		rows, err := experiments.OnlineStudy(cfg, *n)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderOnlineRows(
+			fmt.Sprintf("Online policies vs offline optimum (size %dx%d)", *n, *n), rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("replica") {
+		ran = true
+		rows, err := experiments.ReplicationStudy(cfg, *n, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderReplicaRows(
+			fmt.Sprintf("Replication-factor sweep (size %dx%d)", *n, *n), rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("exact") {
+		ran = true
+		rows, err := experiments.ExactAssignmentStudy(cfg, *n, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderExactRows(
+			fmt.Sprintf("Greedy vs exact capacitated assignment (size %dx%d)", *n, *n), rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("scaling") {
+		ran = true
+		grids := []grid.Grid{grid.Square(2), grid.Square(4), grid.New(8, 4), grid.Square(8)}
+		rows, err := experiments.ScalingStudy(*n, grids, *capFactor)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderScalingRows(
+			fmt.Sprintf("Array scaling (size %dx%d data)", *n, *n), rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("coarse") {
+		ran = true
+		rows, err := experiments.CoarseningStudy(cfg, *n, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderCoarseRows(
+			fmt.Sprintf("Multilevel coarsening (size %dx%d)", *n, *n), rows).Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown artifact %q (want 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse or all)", *table)
+	}
+	return nil
+}
+
+func printAverages(out io.Writer, rows []experiments.Row) {
+	fmt.Fprintf(out, "average improvement: SCDS %.1f%%  LOMCDS %.1f%%  GOMCDS %.1f%%\n\n",
+		experiments.AverageImprovement(rows, "SCDS"),
+		experiments.AverageImprovement(rows, "LOMCDS"),
+		experiments.AverageImprovement(rows, "GOMCDS"))
+}

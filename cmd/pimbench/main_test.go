@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExampleArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "example"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SCDS", "LOMCDS", "GOMCDS", "(1,0)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("example output missing %q", want)
+		}
+	}
+}
+
+func TestTable1SmallSize(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "1", "-sizes", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 1") || !strings.Contains(s, "average improvement") {
+		t.Errorf("table 1 output:\n%s", s)
+	}
+	if !strings.Contains(s, "8x8") {
+		t.Error("size column missing")
+	}
+}
+
+func TestTable2SmallSize(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "2", "-sizes", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "after grouping") {
+		t.Errorf("table 2 output:\n%s", out.String())
+	}
+}
+
+func TestStudies(t *testing.T) {
+	for _, table := range []string{"ablation", "sweep", "sim", "online", "replica", "exact", "scaling", "coarse"} {
+		var out bytes.Buffer
+		if err := run([]string{"-table", table, "-sizes", "8", "-n", "8"}, &out); err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", table)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-table", "bogus"},
+		{"-grid", "bad"},
+		{"-sizes", "x"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Command pimsched runs a data scheduler over a trace and reports the
+// total communication cost against the straightforward baselines.
+//
+// Schedule a generated workload:
+//
+//	pimsched -gen lu -n 16 -grid 4x4 -sched gomcds
+//
+// Schedule a trace file with all schedulers and window grouping:
+//
+//	pimsched -in app.trace -sched all -group
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/cost"
+	"repro/internal/placement"
+	"repro/internal/plan"
+	"repro/internal/render"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimsched", flag.ContinueOnError)
+	gen := fs.String("gen", "", "workload generator (see pimtrace -gen)")
+	n := fs.Int("n", 16, "data matrix dimension for -gen")
+	gridSpec := fs.String("grid", "4x4", "processor array for -gen, WxH")
+	in := fs.String("in", "", "trace file (overrides -gen)")
+	schedName := fs.String("sched", "all", "scheduler: scds, lomcds, gomcds or all")
+	capFactor := fs.Int("capacity", 2, "memory capacity as a multiple of the minimum; 0 = unbounded")
+	group := fs.Bool("group", false, "apply execution-window grouping (Algorithm 3)")
+	showStats := fs.Bool("stats", false, "print schedule statistics (locality, movement, occupancy)")
+	heatmap := fs.Int("heatmap", -1, "render reference-density and occupancy heatmaps for this window")
+	planOut := fs.String("plan", "", "write the last scheduler's lowered communication plan to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	t, err := loadTrace(*in, *gen, *n, *gridSpec)
+	if err != nil {
+		return err
+	}
+
+	capacity := 0
+	if *capFactor > 0 {
+		capacity = *capFactor * placement.MinCapacity(t.NumData, t.Grid.NumProcs())
+	}
+	p := sched.NewProblem(t, capacity)
+
+	var schedulers []sched.Scheduler
+	if *schedName == "all" {
+		schedulers = []sched.Scheduler{sched.SCDS{}, sched.LOMCDS{}, sched.GOMCDS{}}
+	} else {
+		s, err := sched.ByName(*schedName)
+		if err != nil {
+			return err
+		}
+		schedulers = []sched.Scheduler{s}
+	}
+
+	fmt.Fprintf(out, "trace: %v array, %d items, %d windows, %d refs; capacity %d/processor\n\n",
+		t.Grid, t.NumData, t.NumWindows(), t.NumRefs(), capacity)
+
+	var lastSchedule cost.Schedule
+	var lastName string
+
+	tbl := report.NewTable("Total communication cost",
+		"scheduler", "residence", "movement", "total", "improvement%")
+
+	// Row-wise baseline (only meaningful for square data spaces; fall
+	// back to cyclic otherwise).
+	baseAssign, baseName := baseline(t)
+	baseSched, err := (sched.Fixed{Label: baseName, Assign: baseAssign}).Schedule(p)
+	if err != nil {
+		return err
+	}
+	baseCost := p.Model.TotalCost(baseSched)
+	b := p.Model.Evaluate(baseSched)
+	tbl.AddF(baseName, b.Residence, b.Move, b.Total(), 0.0)
+
+	for _, s := range schedulers {
+		var schedule cost.Schedule
+		name := s.Name()
+		if *group {
+			switch s.(type) {
+			case sched.LOMCDS:
+				schedule, err = window.Schedule(p, window.Greedy(p, window.LocalCenters), window.LocalCenters)
+				name += "+group"
+			case sched.GOMCDS:
+				schedule, err = window.Schedule(p, window.Greedy(p, window.LocalCenters), window.GlobalCenters)
+				name += "+group"
+			default:
+				schedule, err = s.Schedule(p)
+			}
+		} else {
+			schedule, err = s.Schedule(p)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %v", s.Name(), err)
+		}
+		bd := p.Model.Evaluate(schedule)
+		tbl.AddF(name, bd.Residence, bd.Move, bd.Total(), report.Improvement(baseCost, bd.Total()))
+		lastSchedule, lastName = schedule, name
+	}
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	if *showStats {
+		st := stats.Compute(p, lastSchedule)
+		ts := stats.ComputeTrace(t)
+		fmt.Fprintf(out, "\nstatistics for %s:\n", lastName)
+		fmt.Fprintf(out, "  locality:        %.1f%% of reference volume served locally\n", 100*st.Locality())
+		fmt.Fprintf(out, "  avg ref distance %.2f hops\n", st.AvgRefDistance)
+		fmt.Fprintf(out, "  moves:           %d item relocations, total distance %d\n", st.Moves, st.MoveDistance)
+		fmt.Fprintf(out, "  occupancy:       max %d items/processor, imbalance CV %.2f\n", st.MaxOccupancy, st.OccupancyCV)
+		fmt.Fprintf(out, "  trace:           sharing degree %.2f readers/item, reuse distance %.2f windows\n",
+			ts.SharingDegree, ts.ReuseDistance)
+	}
+	if *planOut != "" {
+		pl, err := plan.Build(t, lastSchedule)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*planOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := plan.Encode(f, pl); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s: %d messages, %d flit-hops\n", *planOut, pl.NumMessages(), pl.FlitHops())
+	}
+	if *heatmap >= 0 {
+		if *heatmap >= t.NumWindows() {
+			return fmt.Errorf("window %d out of range (trace has %d)", *heatmap, t.NumWindows())
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, render.Heatmap(t.Grid, render.ReferenceDensity(t, *heatmap),
+			fmt.Sprintf("reference density, window %d", *heatmap)))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, render.NumericMap(t.Grid, render.Occupancy(t.Grid, lastSchedule, *heatmap),
+			fmt.Sprintf("memory occupancy under %s, window %d", lastName, *heatmap)))
+	}
+	return nil
+}
+
+func loadTrace(in, gen string, n int, gridSpec string) (*trace.Trace, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Decode(f)
+	}
+	if gen == "" {
+		return nil, fmt.Errorf("either -in or -gen is required")
+	}
+	g, err := cliutil.ParseGrid(gridSpec)
+	if err != nil {
+		return nil, err
+	}
+	generator, err := workload.ByName(gen)
+	if err != nil {
+		return nil, err
+	}
+	return generator.Generate(n, g), nil
+}
+
+// baseline picks the straightforward distribution: row-wise when the
+// data space is a perfect square (the paper's matrices), cyclic
+// otherwise.
+func baseline(t *trace.Trace) (placement.Assignment, string) {
+	for n := 1; n*n <= t.NumData; n++ {
+		if n*n == t.NumData {
+			return placement.RowWise(trace.SquareMatrix(n), t.Grid), "row-wise"
+		}
+	}
+	return placement.Cyclic(t.NumData, t.Grid), "cyclic"
+}

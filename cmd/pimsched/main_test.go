@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScheduleGenerated(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "lu", "-n", "8", "-sched", "all"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"row-wise", "SCDS", "LOMCDS", "GOMCDS", "improvement%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScheduleWithGrouping(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "code", "-n", "8", "-sched", "lomcds", "-group"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LOMCDS+group") {
+		t.Errorf("grouped scheduler label missing:\n%s", out.String())
+	}
+}
+
+func TestStatsAndHeatmap(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "lu", "-n", "8", "-sched", "gomcds", "-stats", "-heatmap", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"locality:", "reference density", "memory occupancy"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScheduleTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.trace")
+	content := "pimtrace v1\ngrid 2 2\ndata 3\nwindow\nref 0 0 2\nref 3 1 1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-sched", "scds", "-capacity", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 3 items is not a perfect square -> cyclic baseline.
+	if !strings.Contains(out.String(), "cyclic") {
+		t.Errorf("cyclic baseline missing:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{},                                // no input
+		{"-gen", "bogus"},                 // unknown generator
+		{"-gen", "lu", "-sched", "bogus"}, // unknown scheduler
+		{"-in", "/nonexistent"},           // missing trace
+		{"-gen", "lu", "-n", "8", "-heatmap", "99"}, // window out of range
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestPlanExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.plan")
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "lu", "-n", "8", "-sched", "gomcds", "-plan", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "pimplan v1\n") {
+		t.Errorf("plan header: %q", string(data[:20]))
+	}
+	if !strings.Contains(out.String(), "flit-hops") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+}

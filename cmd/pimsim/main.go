@@ -1,0 +1,69 @@
+// Command pimsim runs a scheduled benchmark through the mesh
+// interconnect simulator and reports execution time in cycles.
+//
+//	pimsim -bench 1 -n 16                 # all schemes on LU 16x16
+//	pimsim -bench 5 -n 32 -bandwidth 4    # wider links
+//	pimsim -bench 2 -n 16 -nocontention   # ideal interconnect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimsim", flag.ContinueOnError)
+	bench := fs.Int("bench", 1, "paper benchmark id (1-5)")
+	n := fs.Int("n", 16, "data matrix dimension")
+	gridSpec := fs.String("grid", "4x4", "processor array, WxH")
+	capFactor := fs.Int("capacity", 2, "memory capacity as a multiple of the minimum")
+	bandwidth := fs.Int("bandwidth", 1, "link bandwidth in flits per cycle")
+	noContention := fs.Bool("nocontention", false, "disable link arbitration")
+	routingName := fs.String("routing", "xy", "routing discipline: xy, yx or balanced")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := cliutil.ParseGrid(*gridSpec)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Grid: g, Sizes: []int{*n}, CapacityFactor: *capFactor}
+	tr, schedules, err := experiments.Schedules(cfg, *bench, *n)
+	if err != nil {
+		return err
+	}
+
+	routing, err := sim.RoutingByName(*routingName)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{LinkBandwidth: *bandwidth, NoContention: *noContention, Routing: routing}
+	simulator := sim.New(g, opts)
+	tbl := report.NewTable(
+		fmt.Sprintf("Benchmark %d, %dx%d data on %v array (bandwidth %d, contention %v, routing %v)",
+			*bench, *n, *n, g, *bandwidth, !*noContention, routing),
+		"scheme", "cycles", "flit-hops", "messages", "max-link-flits")
+	for _, name := range []string{"S.F.", "SCDS", "LOMCDS", "GOMCDS"} {
+		res, err := simulator.Run(tr, schedules[name])
+		if err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		tbl.AddF(name, res.Cycles, res.FlitHops, res.Messages, res.MaxLinkFlits)
+	}
+	return tbl.Render(out)
+}

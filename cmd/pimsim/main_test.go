@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimulateBenchmark(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "1", "-n", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"S.F.", "SCDS", "LOMCDS", "GOMCDS", "cycles", "flit-hops"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimulateOptions(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "2", "-n", "8", "-bandwidth", "4", "-nocontention", "-routing", "yx"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "routing yx") {
+		t.Errorf("routing not reflected in title:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-bench", "99"},
+		{"-grid", "bad"},
+		{"-routing", "zigzag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

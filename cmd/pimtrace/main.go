@@ -1,0 +1,96 @@
+// Command pimtrace generates and inspects PIM reference-string traces.
+//
+// Generate a trace:
+//
+//	pimtrace -gen lu -n 16 -grid 4x4 -o lu16.trace
+//
+// Inspect a trace file:
+//
+//	pimtrace -in lu16.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pimtrace", flag.ContinueOnError)
+	gen := fs.String("gen", "", "workload generator (lu, matsquare, code, stencil, lu+code, matsquare+code, code+rcode)")
+	n := fs.Int("n", 16, "data matrix dimension (n x n)")
+	gridSpec := fs.String("grid", "4x4", "processor array, WxH")
+	out := fs.String("o", "", "output file (default stdout)")
+	in := fs.String("in", "", "trace file to inspect instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t, err := trace.Decode(f)
+		if err != nil {
+			return err
+		}
+		return describe(stdout, *in, t)
+	}
+
+	if *gen == "" {
+		return fmt.Errorf("either -gen or -in is required")
+	}
+	g, err := cliutil.ParseGrid(*gridSpec)
+	if err != nil {
+		return err
+	}
+	generator, err := workload.ByName(*gen)
+	if err != nil {
+		return err
+	}
+	t := generator.Generate(*n, g)
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.Encode(w, t)
+}
+
+func describe(w io.Writer, name string, t *trace.Trace) error {
+	fmt.Fprintf(w, "trace:    %s\n", name)
+	fmt.Fprintf(w, "grid:     %v (%d processors)\n", t.Grid, t.Grid.NumProcs())
+	fmt.Fprintf(w, "data:     %d items\n", t.NumData)
+	fmt.Fprintf(w, "windows:  %d\n", t.NumWindows())
+	fmt.Fprintf(w, "refs:     %d\n", t.NumRefs())
+	for i := range t.Windows {
+		vol := 0
+		touched := map[trace.DataID]bool{}
+		for _, r := range t.Windows[i].Refs {
+			vol += r.Volume
+			touched[r.Data] = true
+		}
+		fmt.Fprintf(w, "  window %3d: %6d refs, volume %6d, %5d distinct items\n",
+			i, len(t.Windows[i].Refs), vol, len(touched))
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "lu", "-n", "4", "-grid", "2x2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "pimtrace v1\n") {
+		t.Errorf("output header: %q", out.String()[:20])
+	}
+	if !strings.Contains(out.String(), "grid 2 2") {
+		t.Error("grid line missing")
+	}
+}
+
+func TestGenerateAndInspectFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "code", "-n", "4", "-grid", "2x2", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"grid:", "2x2", "windows:  4", "data:     16"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{},                                  // neither -gen nor -in
+		{"-gen", "bogus"},                   // unknown generator
+		{"-gen", "lu", "-grid", "bad"},      // bad grid
+		{"-in", "/nonexistent/file.trace"},  // missing file
+		{"-gen", "lu", "-o", "/nope/x.out"}, // unwritable output
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

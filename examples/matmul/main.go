@@ -1,0 +1,56 @@
+// Matmul schedules the matrix-square benchmark (the paper's benchmark
+// 2) and compares how the choice of iteration partition — 2-D block,
+// row block, cyclic — interacts with data scheduling: scheduling
+// recovers much of the communication a poor partition causes, but the
+// combination of a block partition and GOMCDS is strongest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pim "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n = 16
+	g := pim.SquareGrid(4)
+
+	partitions := []struct {
+		name string
+		part pim.IterationPartition
+	}{
+		{"block", workload.BlockPartition},
+		{"row", workload.RowPartition},
+		{"cyclic", workload.CyclicPartition},
+	}
+
+	fmt.Printf("matrix square, %dx%d data on %v array\n\n", n, n, g)
+	fmt.Printf("%-8s %12s %12s %12s\n", "partition", "row-wise", "SCDS", "GOMCDS")
+	for _, pt := range partitions {
+		tr := pim.MatSquare{Part: pt.part}.Generate(n, g)
+		p := pim.NewProblem(tr, pim.PaperCapacity(tr.NumData, g.NumProcs()))
+
+		base, err := (pim.Fixed{
+			Label:  "row-wise",
+			Assign: pim.RowWise(pim.SquareMatrix(n), g),
+		}).Schedule(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scds, err := pim.SCDS{}.Schedule(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gom, err := pim.GOMCDS{}.Schedule(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12d %12d %12d\n", pt.name,
+			p.Model.TotalCost(base), p.Model.TotalCost(scds), p.Model.TotalCost(gom))
+	}
+	fmt.Println("\nThe iteration partition fixes who computes each product;")
+	fmt.Println("data scheduling then places the operands. A cache-friendly")
+	fmt.Println("block partition plus GOMCDS gives the lowest communication.")
+}

@@ -1,0 +1,77 @@
+// Online demonstrates run-time data scheduling: an application's
+// reference strings are captured window by window with the Recorder
+// (as an instrumented program would), and placements are decided
+// without knowledge of future windows. The three online policies are
+// compared against the clairvoyant offline optimum on a workload whose
+// hot set drifts, oscillates and then settles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pim "repro"
+)
+
+func main() {
+	g := pim.SquareGrid(4)
+	const items = 32
+	rec := pim.NewRecorder(g, items)
+
+	// Phase A (drift): the hot reader walks across the array.
+	for w := 0; w < 6; w++ {
+		for d := 0; d < items; d++ {
+			rec.TouchVolume((w*3+d)%16, pim.DataID(d), 4)
+		}
+		rec.Barrier()
+	}
+	// Phase B (oscillation): references alternate between two corners,
+	// with small volume — moving every window would be wasteful.
+	for w := 0; w < 6; w++ {
+		corner := 0
+		if w%2 == 1 {
+			corner = 15
+		}
+		for d := 0; d < items; d++ {
+			rec.Touch(corner, pim.DataID(d))
+		}
+		rec.Barrier()
+	}
+	// Phase C (settle): everything is consumed at the center, heavily
+	// and for a long time — policies that never adapt keep paying.
+	for w := 0; w < 10; w++ {
+		for d := 0; d < items; d++ {
+			rec.TouchVolume(g.Center(), pim.DataID(d), 8)
+		}
+		rec.Barrier()
+	}
+	tr := rec.Finish()
+
+	// Items are four units large: relocating one costs four times its
+	// travel distance, so chasing every hot-spot flip is expensive.
+	model := pim.NewModel(tr)
+	for d := range model.DataSize {
+		model.DataSize[d] = 4
+	}
+	p := pim.NewProblemFromModel(model, pim.PaperCapacity(items, g.NumProcs()))
+	offline, err := pim.GOMCDS{}.Schedule(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	offCost := p.Model.TotalCost(offline)
+	fmt.Printf("captured trace: %d windows, %d refs\n", tr.NumWindows(), tr.NumRefs())
+	fmt.Printf("offline optimum (GOMCDS): %d\n\n", offCost)
+
+	for _, policy := range []pim.OnlinePolicy{pim.StayPut, pim.Chase, pim.Hysteresis} {
+		s, err := (pim.OnlineScheduler{Policy: policy}).Schedule(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := p.Model.TotalCost(s)
+		fmt.Printf("%-18s total %6d  (%.2fx offline optimum)\n",
+			(pim.OnlineScheduler{Policy: policy}).Name(), c, float64(c)/float64(offCost))
+	}
+	fmt.Println("\nStay-put loses on the drift phase, chase loses on the")
+	fmt.Println("oscillation phase; the rent-or-buy hysteresis rule stays")
+	fmt.Println("within a small factor of the clairvoyant schedule on all three.")
+}

@@ -1,0 +1,39 @@
+// Paperexample reproduces the worked example of the paper's Section
+// 3.3: a single data item D on a 4x4 array over four execution windows,
+// scheduled by SCDS, LOMCDS and GOMCDS. It prints the chosen center of
+// every window and the resulting total communication cost, showing why
+// the globally optimal center sequence beats both the single center and
+// the per-window local optima.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/grid"
+)
+
+func main() {
+	res, err := experiments.Example331()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := grid.Square(4)
+	fmt.Print(experiments.FormatExample(g, res))
+
+	fmt.Println("\nPer-window reference volumes for data D:")
+	counts := res.Trace.BuildCounts()
+	for w := range counts {
+		fmt.Printf("  window %d:", w)
+		for p, v := range counts[w][0] {
+			if v != 0 {
+				fmt.Printf(" %v x%d", g.Coord(p), v)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nGOMCDS holds the window-0 center through window 2 (moving")
+	fmt.Println("would cost more than serving window 1 remotely) and moves")
+	fmt.Println("only for the final window, achieving the lowest total cost.")
+}

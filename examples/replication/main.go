@@ -1,0 +1,42 @@
+// Replication relaxes the paper's one-copy-per-item assumption on the
+// matrix-square benchmark, whose k-panel is broadcast to every
+// processor each window — the access pattern where read-only replicas
+// pay off most. It sweeps the per-item copy bound and reports where the
+// extra memory stops buying communication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pim "repro"
+)
+
+func main() {
+	const n = 16
+	g := pim.SquareGrid(4)
+	tr := pim.MatSquare{}.Generate(n, g)
+	p := pim.NewProblem(tr, pim.PaperCapacity(tr.NumData, g.NumProcs()))
+
+	single, err := pim.GOMCDS{}.Schedule(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := p.Model.TotalCost(single)
+	fmt.Printf("matrix square %dx%d on %v; single-copy GOMCDS cost %d\n\n", n, n, g, base)
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "copies", "serve", "replicate", "total", "vs GOMCDS")
+	for _, k := range []int{1, 2, 4, 8} {
+		s, err := (pim.ReplicaGreedy{MaxCopies: k}).Schedule(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd := pim.EvaluateReplicas(p, s)
+		fmt.Printf("%-8d %10d %10d %10d %9.2fx\n",
+			k, bd.Serve, bd.Replicate, bd.Total(), float64(bd.Total())/float64(base))
+	}
+	fmt.Println("\nEach window broadcasts row k and column k of A to all")
+	fmt.Println("processors; replicas cut the serving distance toward zero while")
+	fmt.Println("the materialization cost grows only linearly in the copy count,")
+	fmt.Println("so the total keeps dropping until memory or diminishing")
+	fmt.Println("broadcast radius stops it.")
+}

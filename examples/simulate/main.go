@@ -1,0 +1,47 @@
+// Simulate runs the CODE benchmark through the mesh interconnect
+// simulator under every scheduling scheme, showing that the analytic
+// communication-cost reductions translate into shorter simulated
+// execution (fewer cycles), and how link bandwidth changes the picture.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pim "repro"
+	"repro/internal/placement"
+)
+
+func main() {
+	const n = 16
+	g := pim.SquareGrid(4)
+	tr := pim.Code{Seed: 1998}.Generate(n, g)
+	p := pim.NewProblem(tr, pim.PaperCapacity(tr.NumData, g.NumProcs()))
+
+	schemes := []pim.Scheduler{
+		pim.Fixed{Label: "S.F.", Assign: placement.RowWise(pim.SquareMatrix(n), g)},
+		pim.SCDS{},
+		pim.LOMCDS{},
+		pim.GOMCDS{},
+	}
+
+	for _, bw := range []int{1, 4} {
+		fmt.Printf("link bandwidth %d flit/cycle:\n", bw)
+		fmt.Printf("  %-8s %10s %12s %10s\n", "scheme", "cycles", "flit-hops", "max-link")
+		for _, s := range schemes {
+			schedule, err := s.Schedule(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := pim.Simulate(tr, schedule, pim.SimOptions{LinkBandwidth: bw})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s %10d %12d %10d\n", s.Name(), res.Cycles, res.FlitHops, res.MaxLinkFlits)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Flit-hops equal the analytic total communication cost; cycles")
+	fmt.Println("additionally expose link contention, which the schedulers also")
+	fmt.Println("reduce by spreading traffic over shorter routes.")
+}

@@ -1,0 +1,116 @@
+// Package capture records data reference strings from a running
+// application and turns them into scheduling traces. It is the
+// instrumentation front end a downstream user wires into an application
+// (or an application simulator) instead of writing trace files by hand:
+// every processor reports the data items it touches, and a barrier
+// closes the current execution window, mirroring the BSP-style
+// supersteps the paper's execution windows represent.
+package capture
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// Recorder accumulates reference events per processor. Distinct
+// processors may record concurrently (one goroutine per processor, the
+// natural instrumentation of an SPMD program); events for the same
+// processor must be recorded serially, and Barrier/Finish require all
+// recording to be quiescent, exactly like the barrier of the program
+// being traced.
+type Recorder struct {
+	g       grid.Grid
+	numData int
+
+	// perProc[p] holds processor p's events of the current window.
+	// Each slice is touched only by its processor between barriers, so
+	// recording needs no locking; the mutex only guards window turnover.
+	mu      sync.Mutex
+	perProc [][]trace.Ref
+	windows []trace.Window
+}
+
+// NewRecorder returns a recorder for the given array and data space.
+func NewRecorder(g grid.Grid, numData int) *Recorder {
+	if numData < 0 {
+		panic(fmt.Sprintf("capture: negative data count %d", numData))
+	}
+	return &Recorder{
+		g:       g,
+		numData: numData,
+		perProc: make([][]trace.Ref, g.NumProcs()),
+	}
+}
+
+// Touch records a unit-volume reference by processor proc to item d.
+func (r *Recorder) Touch(proc int, d trace.DataID) {
+	r.TouchVolume(proc, d, 1)
+}
+
+// TouchVolume records a reference with an explicit volume. It panics on
+// out-of-range arguments: instrumentation bugs should fail loudly at
+// the recording site, not surface later as an invalid trace.
+func (r *Recorder) TouchVolume(proc int, d trace.DataID, volume int) {
+	if proc < 0 || proc >= r.g.NumProcs() {
+		panic(fmt.Sprintf("capture: processor %d outside %v array", proc, r.g))
+	}
+	if d < 0 || int(d) >= r.numData {
+		panic(fmt.Sprintf("capture: data %d outside [0,%d)", d, r.numData))
+	}
+	if volume <= 0 {
+		panic(fmt.Sprintf("capture: non-positive volume %d", volume))
+	}
+	r.perProc[proc] = append(r.perProc[proc], trace.Ref{Proc: proc, Data: d, Volume: volume})
+}
+
+// Barrier closes the current execution window: all events recorded
+// since the previous barrier form one window, in processor order (the
+// deterministic interleaving; within a processor, program order). An
+// empty window is kept — a parallel step with no references is still a
+// scheduling point.
+func (r *Recorder) Barrier() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var w trace.Window
+	for p := range r.perProc {
+		w.Refs = append(w.Refs, r.perProc[p]...)
+		r.perProc[p] = r.perProc[p][:0]
+	}
+	r.windows = append(r.windows, w)
+}
+
+// Pending returns the number of events recorded since the last barrier.
+func (r *Recorder) Pending() int {
+	n := 0
+	for p := range r.perProc {
+		n += len(r.perProc[p])
+	}
+	return n
+}
+
+// NumWindows returns the number of closed windows.
+func (r *Recorder) NumWindows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.windows)
+}
+
+// Finish closes a final window if events are pending and returns the
+// captured trace. The recorder can keep recording afterwards; Finish
+// snapshots the windows so far.
+func (r *Recorder) Finish() *trace.Trace {
+	if r.Pending() > 0 {
+		r.Barrier()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := trace.New(r.g, r.numData)
+	for i := range r.windows {
+		w := t.AddWindow()
+		w.Refs = append(w.Refs, r.windows[i].Refs...)
+	}
+	return t
+}

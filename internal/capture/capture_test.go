@@ -1,0 +1,129 @@
+package capture
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+func TestBasicCapture(t *testing.T) {
+	r := NewRecorder(grid.Square(2), 4)
+	r.Touch(0, 1)
+	r.TouchVolume(3, 2, 5)
+	if r.Pending() != 2 {
+		t.Fatalf("Pending = %d", r.Pending())
+	}
+	r.Barrier()
+	r.Touch(1, 0)
+	tr := r.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 2 {
+		t.Fatalf("windows = %d", tr.NumWindows())
+	}
+	if tr.NumRefs() != 3 {
+		t.Fatalf("refs = %d", tr.NumRefs())
+	}
+	// Window 0 events in processor order.
+	if tr.Windows[0].Refs[0].Proc != 0 || tr.Windows[0].Refs[1].Proc != 3 {
+		t.Fatalf("window 0 order: %v", tr.Windows[0].Refs)
+	}
+	if tr.Windows[0].Refs[1].Volume != 5 {
+		t.Fatalf("volume lost: %v", tr.Windows[0].Refs[1])
+	}
+}
+
+func TestEmptyWindowKept(t *testing.T) {
+	r := NewRecorder(grid.Square(2), 1)
+	r.Barrier() // empty window
+	r.Touch(0, 0)
+	tr := r.Finish()
+	if tr.NumWindows() != 2 {
+		t.Fatalf("windows = %d, want 2 (empty + final)", tr.NumWindows())
+	}
+	if len(tr.Windows[0].Refs) != 0 {
+		t.Fatal("first window should be empty")
+	}
+}
+
+func TestFinishWithoutPending(t *testing.T) {
+	r := NewRecorder(grid.Square(2), 1)
+	r.Touch(0, 0)
+	r.Barrier()
+	tr := r.Finish()
+	if tr.NumWindows() != 1 {
+		t.Fatalf("windows = %d, want 1 (no extra empty window)", tr.NumWindows())
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	r := NewRecorder(grid.Square(2), 2)
+	cases := []func(){
+		func() { r.Touch(9, 0) },
+		func() { r.Touch(-1, 0) },
+		func() { r.Touch(0, 5) },
+		func() { r.TouchVolume(0, 0, 0) },
+		func() { NewRecorder(grid.Square(2), -1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// SPMD-style capture: one goroutine per processor records between
+// barriers, like an instrumented BSP program.
+func TestConcurrentPerProcessorRecording(t *testing.T) {
+	g := grid.Square(4)
+	r := NewRecorder(g, 64)
+	for step := 0; step < 3; step++ {
+		var wg sync.WaitGroup
+		for p := 0; p < g.NumProcs(); p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					r.Touch(p, trace.DataID((p*10+i+step)%64))
+				}
+			}(p)
+		}
+		wg.Wait()
+		r.Barrier()
+	}
+	tr := r.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 3 || tr.NumRefs() != 3*16*10 {
+		t.Fatalf("windows=%d refs=%d", tr.NumWindows(), tr.NumRefs())
+	}
+	// Determinism of the merged order: events grouped by processor.
+	lastProc := -1
+	for _, ref := range tr.Windows[0].Refs {
+		if ref.Proc < lastProc {
+			t.Fatalf("window events not in processor order: %d after %d", ref.Proc, lastProc)
+		}
+		lastProc = ref.Proc
+	}
+}
+
+func TestNumWindows(t *testing.T) {
+	r := NewRecorder(grid.Square(2), 1)
+	if r.NumWindows() != 0 {
+		t.Fatal("fresh recorder has windows")
+	}
+	r.Barrier()
+	r.Barrier()
+	if r.NumWindows() != 2 {
+		t.Fatalf("NumWindows = %d", r.NumWindows())
+	}
+}

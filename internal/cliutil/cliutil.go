@@ -1,0 +1,46 @@
+// Package cliutil holds flag-parsing helpers shared by the command-line
+// tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/grid"
+)
+
+// ParseGrid parses a "WxH" grid specification (e.g. "4x4").
+func ParseGrid(s string) (grid.Grid, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 {
+		return grid.Grid{}, fmt.Errorf("invalid grid %q (want WxH, e.g. 4x4)", s)
+	}
+	w, err1 := strconv.Atoi(parts[0])
+	h, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || w <= 0 || h <= 0 {
+		return grid.Grid{}, fmt.Errorf("invalid grid %q (want WxH with positive dimensions)", s)
+	}
+	return grid.New(w, h), nil
+}
+
+// ParseSizes parses a comma-separated list of positive integers
+// (e.g. "8,16,32").
+func ParseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid size %q (want positive integers, e.g. 8,16,32)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes in %q", s)
+	}
+	return out, nil
+}

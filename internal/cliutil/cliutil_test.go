@@ -1,0 +1,38 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("4x4")
+	if err != nil || g.Width() != 4 || g.Height() != 4 {
+		t.Fatalf("ParseGrid(4x4) = %v, %v", g, err)
+	}
+	g, err = ParseGrid("8X2")
+	if err != nil || g.Width() != 8 || g.Height() != 2 {
+		t.Fatalf("ParseGrid(8X2) = %v, %v", g, err)
+	}
+	for _, bad := range []string{"", "4", "4x", "x4", "0x4", "4x-1", "axb", "4x4x4"} {
+		if _, err := ParseGrid(bad); err == nil {
+			t.Errorf("ParseGrid(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes("8,16,32")
+	if err != nil || !reflect.DeepEqual(got, []int{8, 16, 32}) {
+		t.Fatalf("ParseSizes = %v, %v", got, err)
+	}
+	got, err = ParseSizes(" 8 , 16 ")
+	if err != nil || !reflect.DeepEqual(got, []int{8, 16}) {
+		t.Fatalf("ParseSizes with spaces = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", ",", "a", "0", "-4", "8,x"} {
+		if _, err := ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%q) succeeded", bad)
+		}
+	}
+}

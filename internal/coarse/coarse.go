@@ -1,0 +1,137 @@
+// Package coarse provides multilevel data scheduling: when the data
+// space is too large to schedule item by item, items are aggregated
+// into blocks (tiles of the data matrix, or any user partition), the
+// block-level trace is scheduled with the ordinary algorithms, and the
+// block placement is expanded back to the items. The cost model
+// composes cleanly because a block's residence row is the sum of its
+// members' rows; the trade-off — scheduling speed against placement
+// granularity — is measured by the coarsening ablation in the
+// experiments package.
+package coarse
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// Map aggregates fine data items into coarse blocks: Block[d] is the
+// block of item d. Blocks must be dense (0..NumBlocks-1).
+type Map struct {
+	Block     []int
+	NumBlocks int
+}
+
+// Validate checks density and range.
+func (m Map) Validate() error {
+	if m.NumBlocks < 0 {
+		return fmt.Errorf("coarse: negative block count %d", m.NumBlocks)
+	}
+	seen := make([]bool, m.NumBlocks)
+	for d, b := range m.Block {
+		if b < 0 || b >= m.NumBlocks {
+			return fmt.Errorf("coarse: item %d in block %d outside [0,%d)", d, b, m.NumBlocks)
+		}
+		seen[b] = true
+	}
+	for b, ok := range seen {
+		if !ok {
+			return fmt.Errorf("coarse: block %d is empty", b)
+		}
+	}
+	return nil
+}
+
+// BlockSizes returns the number of items in each block.
+func (m Map) BlockSizes() []int {
+	sizes := make([]int, m.NumBlocks)
+	for _, b := range m.Block {
+		sizes[b]++
+	}
+	return sizes
+}
+
+// MaxBlockSize returns the largest block.
+func (m Map) MaxBlockSize() int {
+	max := 0
+	for _, s := range m.BlockSizes() {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// TileMatrix partitions a data matrix into tile x tile blocks in
+// row-major block order (ragged edges allowed). tile must be positive.
+func TileMatrix(m trace.Matrix, tile int) Map {
+	if tile <= 0 {
+		panic(fmt.Sprintf("coarse: non-positive tile size %d", tile))
+	}
+	bCols := (m.Cols + tile - 1) / tile
+	bRows := (m.Rows + tile - 1) / tile
+	out := Map{Block: make([]int, m.NumElements()), NumBlocks: bRows * bCols}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Block[m.ID(i, j)] = (i/tile)*bCols + j/tile
+		}
+	}
+	return out
+}
+
+// Coarsen rewrites a trace over blocks: every reference to an item
+// becomes a reference to its block, volumes preserved. Scheduling the
+// result is equivalent to scheduling the original under the constraint
+// that a block's items stay together.
+func Coarsen(t *trace.Trace, m Map) (*trace.Trace, error) {
+	if len(m.Block) != t.NumData {
+		return nil, fmt.Errorf("coarse: map covers %d items, trace has %d", len(m.Block), t.NumData)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	out := trace.New(t.Grid, m.NumBlocks)
+	for i := range t.Windows {
+		w := out.AddWindow()
+		for _, r := range t.Windows[i].Refs {
+			w.Refs = append(w.Refs, trace.Ref{Proc: r.Proc, Data: trace.DataID(m.Block[r.Data]), Volume: r.Volume})
+		}
+	}
+	return out, nil
+}
+
+// Expand turns a block-level schedule into an item-level schedule:
+// every item sits where its block sits.
+func Expand(blockSched cost.Schedule, m Map) cost.Schedule {
+	out := cost.Schedule{Centers: make([][]int, len(blockSched.Centers))}
+	for w := range blockSched.Centers {
+		row := make([]int, len(m.Block))
+		for d, b := range m.Block {
+			row[d] = blockSched.Centers[w][b]
+		}
+		out.Centers[w] = row
+	}
+	return out
+}
+
+// CoarseCapacity converts a per-processor item capacity into a safe
+// block capacity: a processor holding that many blocks can never exceed
+// the item capacity, whatever the block mix (conservative: divides by
+// the largest block). Returns 0 (unbounded) when the item capacity is
+// unbounded.
+func CoarseCapacity(itemCapacity int, m Map) int {
+	if itemCapacity <= 0 {
+		return 0
+	}
+	max := m.MaxBlockSize()
+	if max == 0 {
+		return 0
+	}
+	c := itemCapacity / max
+	if c < 1 {
+		c = 1 // the expansion may then exceed the fine capacity; callers
+		// must coarsen less aggressively if that matters
+	}
+	return c
+}

@@ -1,0 +1,210 @@
+package coarse
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestTileMatrix(t *testing.T) {
+	m := trace.SquareMatrix(4)
+	tm := TileMatrix(m, 2)
+	if tm.NumBlocks != 4 {
+		t.Fatalf("blocks = %d", tm.NumBlocks)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// (0,0) and (1,1) in block 0; (0,2) in block 1; (2,0) in block 2.
+	if tm.Block[m.ID(0, 0)] != 0 || tm.Block[m.ID(1, 1)] != 0 {
+		t.Error("top-left tile wrong")
+	}
+	if tm.Block[m.ID(0, 2)] != 1 || tm.Block[m.ID(2, 0)] != 2 || tm.Block[m.ID(3, 3)] != 3 {
+		t.Error("tile layout wrong")
+	}
+	if tm.MaxBlockSize() != 4 {
+		t.Errorf("MaxBlockSize = %d", tm.MaxBlockSize())
+	}
+}
+
+func TestTileMatrixRagged(t *testing.T) {
+	m := trace.Matrix{Rows: 5, Cols: 3}
+	tm := TileMatrix(m, 2)
+	if tm.NumBlocks != 3*2 {
+		t.Fatalf("blocks = %d", tm.NumBlocks)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := tm.BlockSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != m.NumElements() {
+		t.Fatalf("block sizes sum to %d, want %d", total, m.NumElements())
+	}
+}
+
+func TestTileMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero tile did not panic")
+		}
+	}()
+	TileMatrix(trace.SquareMatrix(4), 0)
+}
+
+func TestMapValidateErrors(t *testing.T) {
+	if err := (Map{Block: []int{0, 5}, NumBlocks: 2}).Validate(); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if err := (Map{Block: []int{0, 0}, NumBlocks: 2}).Validate(); err == nil {
+		t.Error("empty block accepted")
+	}
+	if err := (Map{Block: nil, NumBlocks: -1}).Validate(); err == nil {
+		t.Error("negative block count accepted")
+	}
+}
+
+func TestCoarsenPreservesVolumeAndWindows(t *testing.T) {
+	g := grid.Square(4)
+	tr := workload.LU{}.Generate(8, g)
+	tm := TileMatrix(trace.SquareMatrix(8), 2)
+	ct, err := Coarsen(tr, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.NumWindows() != tr.NumWindows() || ct.NumRefs() != tr.NumRefs() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", ct.NumWindows(), ct.NumRefs(), tr.NumWindows(), tr.NumRefs())
+	}
+	if ct.NumData != 16 {
+		t.Fatalf("blocks = %d", ct.NumData)
+	}
+}
+
+func TestCoarsenRejectsMismatch(t *testing.T) {
+	g := grid.Square(2)
+	tr := trace.New(g, 4)
+	tr.AddWindow().Add(0, 0)
+	if _, err := Coarsen(tr, Map{Block: []int{0}, NumBlocks: 1}); err == nil {
+		t.Error("short map accepted")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	tm := Map{Block: []int{0, 0, 1}, NumBlocks: 2}
+	blockSched := cost.Schedule{Centers: [][]int{{5, 9}}}
+	fine := Expand(blockSched, tm)
+	if fine.Centers[0][0] != 5 || fine.Centers[0][1] != 5 || fine.Centers[0][2] != 9 {
+		t.Fatalf("expanded = %v", fine.Centers[0])
+	}
+}
+
+// The expanded coarse schedule's cost on the fine model equals the
+// block schedule's cost on the coarse model, when the block movement
+// size equals the sum of its members' sizes.
+func TestCoarseCostEquivalence(t *testing.T) {
+	g := grid.Square(4)
+	tr := workload.MatSquare{}.Generate(8, g)
+	tm := TileMatrix(trace.SquareMatrix(8), 2)
+	ct, err := Coarsen(tr, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := cost.NewModel(ct)
+	for b, s := range tm.BlockSizes() {
+		cm.DataSize[b] = s // moving a block moves all its items
+	}
+	cp := sched.NewProblemFromModel(cm, 0)
+	bs, err := sched.GOMCDS{}.Schedule(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineModel := cost.NewModel(tr)
+	fine := Expand(bs, tm)
+	if got, want := fineModel.TotalCost(fine), cp.Model.TotalCost(bs); got != want {
+		t.Fatalf("fine cost %d != coarse cost %d", got, want)
+	}
+}
+
+// Coarse scheduling is an upper bound on the fine optimum.
+func TestCoarseNeverBeatsFine(t *testing.T) {
+	g := grid.Square(4)
+	for _, b := range workload.PaperBenchmarks()[:2] {
+		tr := b.Gen.Generate(8, g)
+		fineP := sched.NewProblem(tr, 0)
+		fineS, err := sched.GOMCDS{}.Schedule(fineP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fineCost := fineP.Model.TotalCost(fineS)
+
+		tm := TileMatrix(trace.SquareMatrix(8), 2)
+		ct, err := Coarsen(tr, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := cost.NewModel(ct)
+		for blk, s := range tm.BlockSizes() {
+			cm.DataSize[blk] = s
+		}
+		cp := sched.NewProblemFromModel(cm, 0)
+		bs, err := sched.GOMCDS{}.Schedule(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarseCost := fineP.Model.TotalCost(Expand(bs, tm))
+		if coarseCost < fineCost {
+			t.Errorf("benchmark %d: coarse %d < fine optimum %d", b.ID, coarseCost, fineCost)
+		}
+	}
+}
+
+func TestCoarseCapacity(t *testing.T) {
+	tm := Map{Block: []int{0, 0, 0, 1}, NumBlocks: 2} // max block 3
+	if got := CoarseCapacity(9, tm); got != 3 {
+		t.Errorf("CoarseCapacity(9) = %d, want 3", got)
+	}
+	if got := CoarseCapacity(2, tm); got != 1 {
+		t.Errorf("CoarseCapacity(2) = %d, want floor of 1", got)
+	}
+	if got := CoarseCapacity(0, tm); got != 0 {
+		t.Errorf("CoarseCapacity(0) = %d, want 0 (unbounded)", got)
+	}
+}
+
+func BenchmarkCoarseVsFineGOMCDS(b *testing.B) {
+	g := grid.Square(4)
+	tr := workload.LU{}.Generate(32, g)
+	tm := TileMatrix(trace.SquareMatrix(32), 4)
+	ct, err := Coarsen(tr, tm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fine", func(b *testing.B) {
+		p := sched.NewProblem(tr, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := (sched.GOMCDS{}).Schedule(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("coarse", func(b *testing.B) {
+		p := sched.NewProblem(ct, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := (sched.GOMCDS{}).Schedule(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

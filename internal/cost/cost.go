@@ -1,0 +1,229 @@
+// Package cost implements the communication-cost model of the paper.
+//
+// The cost of a processor p referencing v units of a data item resident
+// on processor c is v * dist(p, c), where dist is the x-y routing
+// (Manhattan) distance on the processor array. The total communication
+// cost of a schedule is the sum of
+//
+//   - the residence cost of every window: every reference weighted by
+//     the distance to the window's center for the referenced item, and
+//   - the movement cost between consecutive windows: the distance the
+//     item travels when its center changes, weighted by the item size.
+//
+// The model pre-computes a residence table R[w][d][c] — the total cost
+// of window w if data item d is stored at processor c — which is the
+// quantity all three schedulers (SCDS, LOMCDS, GOMCDS) minimize over.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// Schedule assigns a center (storage processor) to every data item in
+// every execution window: Centers[w][d] is the processor holding item d
+// during window w.
+type Schedule struct {
+	Centers [][]int
+}
+
+// NumWindows returns the number of windows the schedule covers.
+func (s Schedule) NumWindows() int { return len(s.Centers) }
+
+// Uniform returns a schedule that keeps the given single-window
+// assignment for all numWindows windows, i.e. a schedule without data
+// movement. It copies the assignment so later mutation of either side
+// is safe.
+func Uniform(assign []int, numWindows int) Schedule {
+	centers := make([][]int, numWindows)
+	for w := range centers {
+		centers[w] = make([]int, len(assign))
+		copy(centers[w], assign)
+	}
+	return Schedule{Centers: centers}
+}
+
+// Validate checks that the schedule has one center per data item per
+// window and that all centers are processors of the array.
+func (s Schedule) Validate(g grid.Grid, numData, numWindows int) error {
+	if len(s.Centers) != numWindows {
+		return fmt.Errorf("cost: schedule covers %d windows, trace has %d", len(s.Centers), numWindows)
+	}
+	np := g.NumProcs()
+	for w, row := range s.Centers {
+		if len(row) != numData {
+			return fmt.Errorf("cost: window %d places %d items, trace has %d", w, len(row), numData)
+		}
+		for d, c := range row {
+			if c < 0 || c >= np {
+				return fmt.Errorf("cost: window %d data %d on processor %d outside %v array", w, d, c, g)
+			}
+		}
+	}
+	return nil
+}
+
+// Model evaluates schedules against a trace. Create one with NewModel;
+// it owns the distance table and per-window reference counts.
+type Model struct {
+	Grid    grid.Grid
+	NumData int
+
+	// DataSize[d] is the movement volume of item d (units transferred
+	// when the item changes centers). NewModel initializes all sizes to
+	// one, matching the paper's unit-data assumption; callers may
+	// overwrite entries to model coarser items.
+	DataSize []int
+
+	dist   [][]int
+	counts trace.Counts
+}
+
+// NewModel builds a cost model for the trace. The trace must be valid
+// (see trace.Validate); NewModel panics on a malformed trace because
+// every caller constructs traces through validated paths.
+func NewModel(t *trace.Trace) *Model {
+	if err := t.Validate(); err != nil {
+		panic("cost: " + err.Error())
+	}
+	sizes := make([]int, t.NumData)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	return &Model{
+		Grid:     t.Grid,
+		NumData:  t.NumData,
+		DataSize: sizes,
+		dist:     t.Grid.DistanceTable(),
+		counts:   t.BuildCounts(),
+	}
+}
+
+// NumWindows returns the number of execution windows in the underlying
+// trace.
+func (m *Model) NumWindows() int { return len(m.counts) }
+
+// Dist returns the x-y routing distance between two processors.
+func (m *Model) Dist(a, b int) int { return m.dist[a][b] }
+
+// Counts returns the reference-count matrix (shared, do not mutate).
+func (m *Model) Counts() trace.Counts { return m.counts }
+
+// Residence returns the residence cost of storing data item d at
+// processor c during window w: the sum over all processors p of
+// counts[w][d][p] * dist(p, c).
+func (m *Model) Residence(w int, d trace.DataID, c int) int64 {
+	var total int64
+	for p, v := range m.counts[w][d] {
+		if v != 0 {
+			total += int64(v) * int64(m.dist[p][c])
+		}
+	}
+	return total
+}
+
+// ResidenceTable holds R[w][d][c], the residence cost of window w with
+// item d stored at processor c.
+type ResidenceTable [][][]int64
+
+// BuildResidenceTable computes the full residence table, parallelized
+// over data items. Most scheduler run time is spent here, so the table
+// is built once and shared across SCDS, LOMCDS and GOMCDS runs on the
+// same trace.
+func (m *Model) BuildResidenceTable() ResidenceTable {
+	nw, nd, np := m.NumWindows(), m.NumData, m.Grid.NumProcs()
+	table := make(ResidenceTable, nw)
+	for w := range table {
+		flat := make([]int64, nd*np)
+		table[w] = make([][]int64, nd)
+		for d := range table[w] {
+			table[w][d], flat = flat[:np], flat[np:]
+		}
+	}
+	parallel.ForEach(nd, func(d int) {
+		// Scratch for the sparse (processor, volume) pairs of one window.
+		procs := make([]int, 0, np)
+		vols := make([]int64, 0, np)
+		for w := 0; w < nw; w++ {
+			procs, vols = procs[:0], vols[:0]
+			for p, v := range m.counts[w][d] {
+				if v != 0 {
+					procs = append(procs, p)
+					vols = append(vols, int64(v))
+				}
+			}
+			row := table[w][d]
+			for c := 0; c < np; c++ {
+				var total int64
+				for i, p := range procs {
+					total += vols[i] * int64(m.dist[p][c])
+				}
+				row[c] = total
+			}
+		}
+	})
+	return table
+}
+
+// ResidenceCost returns the total residence cost of the schedule: the
+// cost of serving every reference from each window's chosen centers.
+func (m *Model) ResidenceCost(s Schedule) int64 {
+	return parallel.SumInt64(m.NumData, func(d int) int64 {
+		var total int64
+		for w := range s.Centers {
+			total += m.Residence(w, trace.DataID(d), s.Centers[w][d])
+		}
+		return total
+	})
+}
+
+// MoveCost returns the total data-movement cost of the schedule: for
+// every data item and every pair of consecutive windows, the distance
+// between the two centers weighted by the item size.
+func (m *Model) MoveCost(s Schedule) int64 {
+	return parallel.SumInt64(m.NumData, func(d int) int64 {
+		var total int64
+		for w := 1; w < len(s.Centers); w++ {
+			total += int64(m.DataSize[d]) * int64(m.dist[s.Centers[w-1][d]][s.Centers[w][d]])
+		}
+		return total
+	})
+}
+
+// TotalCost returns ResidenceCost + MoveCost, the objective the paper's
+// data-scheduling problem minimizes.
+func (m *Model) TotalCost(s Schedule) int64 {
+	return m.ResidenceCost(s) + m.MoveCost(s)
+}
+
+// DataCost returns the contribution of one data item to the total cost
+// given its per-window center sequence. Schedulers use it to reason
+// about items independently.
+func (m *Model) DataCost(d trace.DataID, centers []int) int64 {
+	var total int64
+	for w, c := range centers {
+		total += m.Residence(w, d, c)
+		if w > 0 {
+			total += int64(m.DataSize[d]) * int64(m.dist[centers[w-1]][c])
+		}
+	}
+	return total
+}
+
+// Breakdown reports the residence, movement and total cost of a
+// schedule in one pass, for experiment tables.
+type Breakdown struct {
+	Residence int64
+	Move      int64
+}
+
+// Total returns the combined cost.
+func (b Breakdown) Total() int64 { return b.Residence + b.Move }
+
+// Evaluate returns the cost breakdown of a schedule.
+func (m *Model) Evaluate(s Schedule) Breakdown {
+	return Breakdown{Residence: m.ResidenceCost(s), Move: m.MoveCost(s)}
+}

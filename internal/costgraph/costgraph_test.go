@@ -1,0 +1,301 @@
+package costgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestShortestPathDiamond(t *testing.T) {
+	// 0 -> 1 (1), 0 -> 2 (4), 1 -> 3 (10), 2 -> 3 (1): best 0-1? No:
+	// 0-1-3 = 11, 0-2-3 = 5.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(1, 3, 10)
+	g.AddEdge(2, 3, 1)
+	dist, path, err := g.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != 5 {
+		t.Fatalf("dist = %d, want 5", dist)
+	}
+	if !reflect.DeepEqual(path, []int{0, 2, 3}) {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestShortestPathToSelf(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 3)
+	dist, path, err := g.ShortestPath(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != 0 || !reflect.DeepEqual(path, []int{0}) {
+		t.Fatalf("dist=%d path=%v", dist, path)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	if _, _, err := g.ShortestPath(0, 2); err == nil {
+		t.Fatal("unreachable node did not error")
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if _, _, err := g.ShortestPath(0, 2); err == nil {
+		t.Fatal("ShortestPath on cyclic graph did not error")
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	g := NewGraph(6)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {2, 5}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1], 1)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range edges {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("edge %v violates order %v", e, order)
+		}
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := NewGraph(2)
+	cases := []struct {
+		from, to int
+		w        int64
+	}{
+		{-1, 0, 1}, {0, 2, 1}, {0, 1, -1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddEdge(%d,%d,%d) did not panic", c.from, c.to, c.w)
+				}
+			}()
+			g.AddEdge(c.from, c.to, c.w)
+		}()
+	}
+}
+
+func TestBadEndpoints(t *testing.T) {
+	g := NewGraph(2)
+	if _, _, err := g.ShortestFrom(5); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, _, err := g.ShortestPath(0, 5); err == nil {
+		t.Error("bad destination accepted")
+	}
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	dist, path, err := g.ShortestPath(0, 2)
+	if err != nil || dist != 0 || len(path) != 3 {
+		t.Fatalf("dist=%d path=%v err=%v", dist, path, err)
+	}
+}
+
+func TestLayeredSingleLayer(t *testing.T) {
+	total, path := ShortestLayeredPath([][]int64{{5, 2, 7}}, nil)
+	if total != 2 || !reflect.DeepEqual(path, []int{1}) {
+		t.Fatalf("total=%d path=%v", total, path)
+	}
+}
+
+func TestLayeredEmpty(t *testing.T) {
+	total, path := ShortestLayeredPath(nil, nil)
+	if total != 0 || path != nil {
+		t.Fatalf("total=%d path=%v", total, path)
+	}
+}
+
+func TestLayeredPanicsOnEmptyLayer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty layer did not panic")
+		}
+	}()
+	ShortestLayeredPath([][]int64{{1}, {}}, func(l, a, b int) int64 { return 0 })
+}
+
+func TestLayeredHandExample(t *testing.T) {
+	// Two layers, two nodes. Node costs: [0: 0, 1: 10], [0: 10, 1: 0].
+	// Transition cost 3 between different nodes, 0 for staying.
+	nodeCost := [][]int64{{0, 10}, {10, 0}}
+	trans := func(l, a, b int) int64 {
+		if a == b {
+			return 0
+		}
+		return 3
+	}
+	total, path := ShortestLayeredPath(nodeCost, trans)
+	// Options: stay at 0 (0+10=10), stay at 1 (10+0=10), move 0->1
+	// (0+3+0=3), move 1->0 (10+3+10=23). Best: 3 via [0,1].
+	if total != 3 || !reflect.DeepEqual(path, []int{0, 1}) {
+		t.Fatalf("total=%d path=%v", total, path)
+	}
+}
+
+func TestLayeredStaysWhenMovingIsDear(t *testing.T) {
+	nodeCost := [][]int64{{0, 1}, {2, 1}, {0, 1}}
+	trans := func(l, a, b int) int64 {
+		if a == b {
+			return 0
+		}
+		return 100
+	}
+	total, path := ShortestLayeredPath(nodeCost, trans)
+	if total != 2 || !reflect.DeepEqual(path, []int{0, 0, 0}) {
+		// stay at 0: 0+2+0 = 2; stay at 1: 3.
+		t.Fatalf("total=%d path=%v", total, path)
+	}
+}
+
+// buildLayeredGraph materializes the layered problem as an explicit
+// Graph with pseudo source and sink, mirroring the paper's cost-graph
+// construction, for cross-validation.
+func buildLayeredGraph(nodeCost [][]int64, trans func(l, a, b int) int64) (*Graph, int, int) {
+	L := len(nodeCost)
+	m := len(nodeCost[0])
+	// Node numbering: src = 0, layer l node p = 1 + l*m + p, dst = 1 + L*m.
+	g := NewGraph(2 + L*m)
+	src, dst := 0, 1+L*m
+	id := func(l, p int) int { return 1 + l*m + p }
+	for p := 0; p < m; p++ {
+		g.AddEdge(src, id(0, p), nodeCost[0][p])
+	}
+	for l := 0; l+1 < L; l++ {
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				g.AddEdge(id(l, a), id(l+1, b), trans(l, a, b)+nodeCost[l+1][b])
+			}
+		}
+	}
+	for p := 0; p < m; p++ {
+		g.AddEdge(id(L-1, p), dst, 0)
+	}
+	return g, src, dst
+}
+
+// Property: the layered DP matches the explicit cost-graph shortest
+// path on random instances (costs and the selected path's cost).
+func TestLayeredMatchesExplicitGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		L := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		nodeCost := make([][]int64, L)
+		for l := range nodeCost {
+			nodeCost[l] = make([]int64, m)
+			for p := range nodeCost[l] {
+				nodeCost[l][p] = int64(rng.Intn(50))
+			}
+		}
+		moves := make([][]int64, m)
+		for a := range moves {
+			moves[a] = make([]int64, m)
+			for b := range moves[a] {
+				moves[a][b] = int64(rng.Intn(20))
+			}
+		}
+		trans := func(l, a, b int) int64 { return moves[a][b] }
+
+		wantTotal, path := ShortestLayeredPath(nodeCost, trans)
+
+		g, src, dst := buildLayeredGraph(nodeCost, trans)
+		gotTotal, _, err := g.ShortestPath(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTotal != wantTotal {
+			t.Fatalf("iter %d: DP total %d != graph total %d", iter, wantTotal, gotTotal)
+		}
+		// The DP's own path must cost what it claims.
+		var check int64
+		for l, p := range path {
+			check += nodeCost[l][p]
+			if l > 0 {
+				check += trans(l-1, path[l-1], p)
+			}
+		}
+		if check != wantTotal {
+			t.Fatalf("iter %d: path %v costs %d, claimed %d", iter, path, check, wantTotal)
+		}
+	}
+}
+
+func BenchmarkLayeredDP(b *testing.B) {
+	const L, m = 64, 16
+	nodeCost := make([][]int64, L)
+	rng := rand.New(rand.NewSource(1))
+	for l := range nodeCost {
+		nodeCost[l] = make([]int64, m)
+		for p := range nodeCost[l] {
+			nodeCost[l][p] = int64(rng.Intn(100))
+		}
+	}
+	trans := func(l, a, b int) int64 { return int64((a - b) * (a - b) % 7) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ShortestLayeredPath(nodeCost, trans)
+	}
+}
+
+func TestLayeredForbiddenNodes(t *testing.T) {
+	// Node (1,0) is forbidden; path must detour through (1,1).
+	nodeCost := [][]int64{{0, 5}, {Inf, 1}, {0, 5}}
+	trans := func(l, a, b int) int64 {
+		if a == b {
+			return 0
+		}
+		return 2
+	}
+	total, path := ShortestLayeredPath(nodeCost, trans)
+	// 0 -> 1 -> 0: 0 + 2 + 1 + 2 + 0 = 5.
+	if total != 5 || !reflect.DeepEqual(path, []int{0, 1, 0}) {
+		t.Fatalf("total=%d path=%v", total, path)
+	}
+}
+
+func TestLayeredAllForbidden(t *testing.T) {
+	nodeCost := [][]int64{{0}, {Inf}}
+	total, path := ShortestLayeredPath(nodeCost, func(l, a, b int) int64 { return 0 })
+	if total != Inf || path != nil {
+		t.Fatalf("total=%d path=%v, want Inf/nil", total, path)
+	}
+}
+
+func TestLayeredForbiddenFirstLayer(t *testing.T) {
+	nodeCost := [][]int64{{Inf, 3}, {1, Inf}}
+	total, path := ShortestLayeredPath(nodeCost, func(l, a, b int) int64 { return 1 })
+	// Only path: (0,1) -> (1,0): 3 + 1 + 1 = 5.
+	if total != 5 || !reflect.DeepEqual(path, []int{1, 0}) {
+		t.Fatalf("total=%d path=%v", total, path)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// AblationRow compares grouping strategies for one benchmark and size
+// (experiment E6 in DESIGN.md): the design question of Section 4 is how
+// large execution windows should be, answered by the greedy Algorithm 3
+// against no grouping at all and against the exact DP grouper.
+type AblationRow struct {
+	BenchmarkID int
+	Size        int
+	// Ungrouped is the plain LOMCDS cost (Table 1 discipline).
+	Ungrouped int64
+	// Greedy is the cost after Algorithm 3 grouping with strict
+	// acceptance (Table 2 discipline).
+	Greedy int64
+	// GreedyEq is the cost with the paper's literal accept-on-equal
+	// rule.
+	GreedyEq int64
+	// Optimal is the cost with the exact DP partition per data item.
+	Optimal int64
+	// GreedyGroups and OptimalGroups count the merged windows summed
+	// over all data items, showing how aggressively each strategy merges.
+	GreedyGroups, OptimalGroups int
+}
+
+// GroupingAblation runs the E6 ablation over the configured benchmarks
+// and sizes.
+func GroupingAblation(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, b := range workload.PaperBenchmarks() {
+		for _, n := range cfg.Sizes {
+			tr := b.Gen.Generate(n, cfg.Grid)
+			p := sched.NewProblem(tr, cfg.capacity(n))
+
+			plain, err := sched.LOMCDS{}.Schedule(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %d/%d: %v", b.ID, n, err)
+			}
+			greedyGrp := window.Greedy(p, window.LocalCenters)
+			greedySched, err := window.Schedule(p, greedyGrp, window.LocalCenters)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %d/%d greedy: %v", b.ID, n, err)
+			}
+			eqGrp := window.GreedyAcceptEqual(p, window.LocalCenters)
+			eqSched, err := window.Schedule(p, eqGrp, window.LocalCenters)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %d/%d greedy-eq: %v", b.ID, n, err)
+			}
+			optGrp := window.Optimal(p)
+			optSched, err := window.Schedule(p, optGrp, window.LocalCenters)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %d/%d optimal: %v", b.ID, n, err)
+			}
+			rows = append(rows, AblationRow{
+				BenchmarkID:   b.ID,
+				Size:          n,
+				Ungrouped:     p.Model.TotalCost(plain),
+				Greedy:        p.Model.TotalCost(greedySched),
+				GreedyEq:      p.Model.TotalCost(eqSched),
+				Optimal:       p.Model.TotalCost(optSched),
+				GreedyGroups:  countGroups(greedyGrp),
+				OptimalGroups: countGroups(optGrp),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func countGroups(g window.Grouping) int {
+	n := 0
+	for _, groups := range g {
+		n += len(groups)
+	}
+	return n
+}
+
+// WindowSweepRow reports how Table 1 costs change when the trace's
+// windows are coarsened by merging fixed-size runs before scheduling —
+// the paper's observation that window size drives the achievable
+// reduction.
+type WindowSweepRow struct {
+	BenchmarkID int
+	Size        int
+	// MergeFactor consecutive windows were merged into one.
+	MergeFactor int
+	Windows     int
+	LOMCDS      int64
+	GOMCDS      int64
+}
+
+// WindowSweep coarsens each benchmark's windows by the given factors
+// and reports LOMCDS/GOMCDS costs at each granularity.
+func WindowSweep(cfg Config, n int, factors []int) ([]WindowSweepRow, error) {
+	var rows []WindowSweepRow
+	for _, b := range workload.PaperBenchmarks() {
+		base := b.Gen.Generate(n, cfg.Grid)
+		for _, f := range factors {
+			if f <= 0 {
+				return nil, fmt.Errorf("experiments: non-positive merge factor %d", f)
+			}
+			tr := base
+			if f > 1 {
+				tr = base.Merged(trace.UniformIntervals(base.NumWindows(), f))
+			}
+			p := sched.NewProblem(tr, cfg.capacity(n))
+			lo, err := sched.LOMCDS{}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			gl, err := sched.GOMCDS{}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, WindowSweepRow{
+				BenchmarkID: b.ID,
+				Size:        n,
+				MergeFactor: f,
+				Windows:     tr.NumWindows(),
+				LOMCDS:      p.Model.TotalCost(lo),
+				GOMCDS:      p.Model.TotalCost(gl),
+			})
+		}
+	}
+	return rows, nil
+}

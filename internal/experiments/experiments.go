@@ -1,0 +1,193 @@
+// Package experiments reproduces the evaluation artifacts of the
+// paper: the §3.3 worked example, Table 1 (total communication cost of
+// the three schedulers against the straightforward row-wise
+// distribution), Table 2 (the same after execution-window grouping),
+// and the ablation studies described in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// Config fixes the experimental setup. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Grid is the processor array (the paper uses 4x4).
+	Grid grid.Grid
+	// Sizes are the data matrix dimensions (the paper uses 8, 16, 32).
+	Sizes []int
+	// CapacityFactor scales the minimum per-processor memory; the
+	// paper uses 2 ("twice more than the minimum memory size").
+	CapacityFactor int
+}
+
+// DefaultConfig returns the paper's setup: a 4x4 array, matrix sizes
+// 8x8, 16x16 and 32x32, and memory twice the minimum.
+func DefaultConfig() Config {
+	return Config{Grid: grid.Square(4), Sizes: []int{8, 16, 32}, CapacityFactor: 2}
+}
+
+// capacity returns the per-processor memory for a data matrix of the
+// given dimension.
+func (c Config) capacity(n int) int {
+	f := c.CapacityFactor
+	if f <= 0 {
+		f = 2
+	}
+	return f * placement.MinCapacity(n*n, c.Grid.NumProcs())
+}
+
+// SchemeResult is one scheduler's cell pair in a paper table: the total
+// communication cost and the percentage improvement over the
+// straightforward distribution.
+type SchemeResult struct {
+	Name        string
+	Comm        int64
+	Improvement float64
+}
+
+// Row is one row of Table 1 or Table 2: a benchmark at one data size.
+type Row struct {
+	BenchmarkID int
+	Description string
+	Size        int
+	// SF is the total communication cost of the straightforward
+	// row-wise distribution (column "S.F.").
+	SF int64
+	// Schemes holds the SCDS, LOMCDS and GOMCDS columns, in that order.
+	Schemes []SchemeResult
+}
+
+// Scheme returns the named scheme result and whether it exists.
+func (r Row) Scheme(name string) (SchemeResult, bool) {
+	for _, s := range r.Schemes {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SchemeResult{}, false
+}
+
+// Table1 reproduces the paper's Table 1: the total communication cost
+// of every benchmark and size before execution-window grouping.
+func Table1(cfg Config) ([]Row, error) {
+	return buildTable(cfg, func(p *sched.Problem, s sched.Scheduler) (int64, error) {
+		sc, err := s.Schedule(p)
+		if err != nil {
+			return 0, err
+		}
+		return p.Model.TotalCost(sc), nil
+	})
+}
+
+// Table2 reproduces the paper's Table 2: the total communication cost
+// after applying the execution-window grouping (Algorithm 3, computing
+// centers with LOMCDS as in the paper). SCDS ignores window structure,
+// so its column matches Table 1; LOMCDS and GOMCDS are re-run on the
+// grouped windows.
+func Table2(cfg Config) ([]Row, error) {
+	return buildTable(cfg, func(p *sched.Problem, s sched.Scheduler) (int64, error) {
+		switch s.(type) {
+		case sched.SCDS:
+			sc, err := s.Schedule(p)
+			if err != nil {
+				return 0, err
+			}
+			return p.Model.TotalCost(sc), nil
+		case sched.LOMCDS:
+			grp := window.Greedy(p, window.LocalCenters)
+			sc, err := window.Schedule(p, grp, window.LocalCenters)
+			if err != nil {
+				return 0, err
+			}
+			return p.Model.TotalCost(sc), nil
+		case sched.GOMCDS:
+			grp := window.Greedy(p, window.LocalCenters)
+			sc, err := window.Schedule(p, grp, window.GlobalCenters)
+			if err != nil {
+				return 0, err
+			}
+			return p.Model.TotalCost(sc), nil
+		}
+		return 0, fmt.Errorf("experiments: unknown scheduler %s", s.Name())
+	})
+}
+
+func buildTable(cfg Config, eval func(*sched.Problem, sched.Scheduler) (int64, error)) ([]Row, error) {
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("experiments: no data sizes configured")
+	}
+	var rows []Row
+	for _, b := range workload.PaperBenchmarks() {
+		for _, n := range cfg.Sizes {
+			tr := b.Gen.Generate(n, cfg.Grid)
+			p := sched.NewProblem(tr, cfg.capacity(n))
+			sf, err := sched.Fixed{
+				Label:  "S.F.",
+				Assign: placement.RowWise(trace.SquareMatrix(n), cfg.Grid),
+			}.Schedule(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: benchmark %d size %d: %v", b.ID, n, err)
+			}
+			row := Row{
+				BenchmarkID: b.ID,
+				Description: b.Description,
+				Size:        n,
+				SF:          p.Model.TotalCost(sf),
+			}
+			for _, s := range []sched.Scheduler{sched.SCDS{}, sched.LOMCDS{}, sched.GOMCDS{}} {
+				comm, err := eval(p, s)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: benchmark %d size %d %s: %v", b.ID, n, s.Name(), err)
+				}
+				row.Schemes = append(row.Schemes, SchemeResult{
+					Name:        s.Name(),
+					Comm:        comm,
+					Improvement: report.Improvement(row.SF, comm),
+				})
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AverageImprovement returns the mean percentage improvement of the
+// named scheme across all rows.
+func AverageImprovement(rows []Row, scheme string) float64 {
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if s, ok := r.Scheme(scheme); ok {
+			sum += s.Improvement
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RenderRows formats table rows in the paper's column layout.
+func RenderRows(title string, rows []Row) *report.Table {
+	t := report.NewTable(title,
+		"B.", "Size", "S.F.",
+		"SCDS", "%", "LOMCDS", "%", "GOMCDS", "%")
+	for _, r := range rows {
+		cells := []any{r.BenchmarkID, fmt.Sprintf("%dx%d", r.Size, r.Size), r.SF}
+		for _, s := range r.Schemes {
+			cells = append(cells, s.Comm, s.Improvement)
+		}
+		t.AddF(cells...)
+	}
+	return t
+}

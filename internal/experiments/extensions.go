@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/online"
+	"repro/internal/placement"
+	"repro/internal/replica"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// OnlineRow compares one online policy against the offline optimum on
+// one benchmark (experiment E7: what a runtime scheduler without the
+// full reference string can still achieve).
+type OnlineRow struct {
+	BenchmarkID int
+	Size        int
+	Scheme      string
+	Comm        int64
+	// RatioVsOffline is Comm divided by the offline GOMCDS cost (the
+	// empirical competitive ratio; 1.0 = matches the clairvoyant
+	// optimum).
+	RatioVsOffline float64
+}
+
+// OnlineStudy runs the online policies over the paper benchmarks at
+// data size n and reports their empirical competitive ratios.
+func OnlineStudy(cfg Config, n int) ([]OnlineRow, error) {
+	var rows []OnlineRow
+	for _, b := range workload.PaperBenchmarks() {
+		tr := b.Gen.Generate(n, cfg.Grid)
+		p := sched.NewProblem(tr, cfg.capacity(n))
+		offline, err := sched.GOMCDS{}.Schedule(p)
+		if err != nil {
+			return nil, err
+		}
+		offlineCost := p.Model.TotalCost(offline)
+		schedulers := []sched.Scheduler{
+			online.Scheduler{Policy: online.StayPut},
+			online.Scheduler{Policy: online.Chase},
+			online.Scheduler{Policy: online.Hysteresis},
+		}
+		for _, s := range schedulers {
+			sc, err := s.Schedule(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: online %d/%s: %v", b.ID, s.Name(), err)
+			}
+			comm := p.Model.TotalCost(sc)
+			ratio := 0.0
+			if offlineCost > 0 {
+				ratio = float64(comm) / float64(offlineCost)
+			}
+			rows = append(rows, OnlineRow{
+				BenchmarkID: b.ID, Size: n, Scheme: s.Name(),
+				Comm: comm, RatioVsOffline: ratio,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderOnlineRows formats the online study.
+func RenderOnlineRows(title string, rows []OnlineRow) *report.Table {
+	t := report.NewTable(title, "B.", "Size", "Policy", "Comm", "xOffline")
+	for _, r := range rows {
+		t.AddF(r.BenchmarkID, fmt.Sprintf("%dx%d", r.Size, r.Size), r.Scheme, r.Comm,
+			fmt.Sprintf("%.2f", r.RatioVsOffline))
+	}
+	return t
+}
+
+// ReplicaRow is one replication-factor measurement (experiment E8:
+// relaxing the paper's single-copy assumption).
+type ReplicaRow struct {
+	BenchmarkID int
+	Size        int
+	MaxCopies   int
+	Serve       int64
+	Replicate   int64
+	Total       int64
+	// VsSingle is Total relative to the single-copy GOMCDS cost
+	// (fraction; < 1 means replication wins).
+	VsSingle float64
+}
+
+// ReplicationStudy sweeps the per-item copy bound over the paper
+// benchmarks at data size n.
+func ReplicationStudy(cfg Config, n int, copyBounds []int) ([]ReplicaRow, error) {
+	var rows []ReplicaRow
+	for _, b := range workload.PaperBenchmarks() {
+		tr := b.Gen.Generate(n, cfg.Grid)
+		p := sched.NewProblem(tr, cfg.capacity(n))
+		single, err := sched.GOMCDS{}.Schedule(p)
+		if err != nil {
+			return nil, err
+		}
+		singleCost := p.Model.TotalCost(single)
+		for _, k := range copyBounds {
+			s, err := replica.Greedy{MaxCopies: k}.Schedule(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: replica %d/k=%d: %v", b.ID, k, err)
+			}
+			bd := replica.Evaluate(p, s)
+			ratio := 0.0
+			if singleCost > 0 {
+				ratio = float64(bd.Total()) / float64(singleCost)
+			}
+			rows = append(rows, ReplicaRow{
+				BenchmarkID: b.ID, Size: n, MaxCopies: k,
+				Serve: bd.Serve, Replicate: bd.Replicate, Total: bd.Total(),
+				VsSingle: ratio,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderReplicaRows formats the replication study.
+func RenderReplicaRows(title string, rows []ReplicaRow) *report.Table {
+	t := report.NewTable(title, "B.", "Size", "copies", "serve", "replicate", "total", "xGOMCDS")
+	for _, r := range rows {
+		t.AddF(r.BenchmarkID, fmt.Sprintf("%dx%d", r.Size, r.Size), r.MaxCopies,
+			r.Serve, r.Replicate, r.Total, fmt.Sprintf("%.2f", r.VsSingle))
+	}
+	return t
+}
+
+// ExactRow compares the paper's greedy processor-list capacity
+// discipline against the exact min-cost-flow assignment (experiment
+// E9), at increasing memory pressure (smaller capacity factors).
+type ExactRow struct {
+	BenchmarkID    int
+	Size           int
+	CapacityFactor int
+	// Single-center total costs.
+	GreedySCDS, ExactSCDS int64
+	// Per-window residence costs (the objective the per-window
+	// assignment optimizes).
+	GreedyLOMCDS, ExactLOMCDS int64
+}
+
+// ExactAssignmentStudy measures the greedy-vs-exact gap over the paper
+// benchmarks at data size n for each capacity factor.
+func ExactAssignmentStudy(cfg Config, n int, factors []int) ([]ExactRow, error) {
+	var rows []ExactRow
+	for _, b := range workload.PaperBenchmarks() {
+		tr := b.Gen.Generate(n, cfg.Grid)
+		for _, f := range factors {
+			if f <= 0 {
+				return nil, fmt.Errorf("experiments: non-positive capacity factor %d", f)
+			}
+			capa := f * placement.MinCapacity(tr.NumData, cfg.Grid.NumProcs())
+			p := sched.NewProblem(tr, capa)
+			row := ExactRow{BenchmarkID: b.ID, Size: n, CapacityFactor: f}
+			gs, err := sched.SCDS{}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			es, err := sched.ExactSCDS{}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			gl, err := sched.LOMCDS{}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			el, err := sched.ExactLOMCDS{}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			row.GreedySCDS = p.Model.TotalCost(gs)
+			row.ExactSCDS = p.Model.TotalCost(es)
+			row.GreedyLOMCDS = p.Model.ResidenceCost(gl)
+			row.ExactLOMCDS = p.Model.ResidenceCost(el)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderExactRows formats the exact-assignment study.
+func RenderExactRows(title string, rows []ExactRow) *report.Table {
+	t := report.NewTable(title, "B.", "Size", "cap", "SCDS", "SCDS*", "LOMCDSres", "LOMCDS*res")
+	for _, r := range rows {
+		t.AddF(r.BenchmarkID, fmt.Sprintf("%dx%d", r.Size, r.Size), r.CapacityFactor,
+			r.GreedySCDS, r.ExactSCDS, r.GreedyLOMCDS, r.ExactLOMCDS)
+	}
+	return t
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coarse"
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ScalingRow reports how the scheduling gains evolve as the PIM array
+// grows (experiment E10 — the PetaFlop-motivated question: does data
+// scheduling keep paying as the machine scales?).
+type ScalingRow struct {
+	BenchmarkID int
+	Grid        grid.Grid
+	Size        int
+	SF          int64
+	GOMCDS      int64
+	Improvement float64
+}
+
+// ScalingStudy runs every paper benchmark at data size n on each array
+// shape, comparing GOMCDS with the row-wise baseline.
+func ScalingStudy(n int, grids []grid.Grid, capacityFactor int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, b := range workload.PaperBenchmarks() {
+		for _, g := range grids {
+			tr := b.Gen.Generate(n, g)
+			capa := 0
+			if capacityFactor > 0 {
+				capa = capacityFactor * placement.MinCapacity(tr.NumData, g.NumProcs())
+			}
+			p := sched.NewProblem(tr, capa)
+			sf, err := sched.Fixed{
+				Label:  "S.F.",
+				Assign: placement.RowWise(trace.SquareMatrix(n), g),
+			}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			gom, err := sched.GOMCDS{}.Schedule(p)
+			if err != nil {
+				return nil, err
+			}
+			sfCost, gomCost := p.Model.TotalCost(sf), p.Model.TotalCost(gom)
+			rows = append(rows, ScalingRow{
+				BenchmarkID: b.ID, Grid: g, Size: n,
+				SF: sfCost, GOMCDS: gomCost,
+				Improvement: report.Improvement(sfCost, gomCost),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderScalingRows formats the scaling study.
+func RenderScalingRows(title string, rows []ScalingRow) *report.Table {
+	t := report.NewTable(title, "B.", "grid", "S.F.", "GOMCDS", "%")
+	for _, r := range rows {
+		t.AddF(r.BenchmarkID, r.Grid.String(), r.SF, r.GOMCDS, r.Improvement)
+	}
+	return t
+}
+
+// CoarseRow reports the multilevel-scheduling trade-off (experiment
+// E11): block-level scheduling quality and speed against item-level.
+type CoarseRow struct {
+	BenchmarkID int
+	Size        int
+	Tile        int // 1 = item-level (no coarsening)
+	Blocks      int
+	Cost        int64
+	// VsFine is Cost relative to the item-level GOMCDS cost.
+	VsFine float64
+	// Elapsed is the scheduling wall time (problem build + solve).
+	Elapsed time.Duration
+}
+
+// CoarseningStudy sweeps tile sizes over the paper benchmarks at data
+// size n (uncapacitated, isolating the granularity effect).
+func CoarseningStudy(cfg Config, n int, tiles []int) ([]CoarseRow, error) {
+	var rows []CoarseRow
+	m := trace.SquareMatrix(n)
+	for _, b := range workload.PaperBenchmarks() {
+		tr := b.Gen.Generate(n, cfg.Grid)
+		// Item-level reference cost, computed once regardless of the
+		// requested tile list.
+		fineP := sched.NewProblem(tr, 0)
+		fineS, err := sched.GOMCDS{}.Schedule(fineP)
+		if err != nil {
+			return nil, err
+		}
+		fineCost := fineP.Model.TotalCost(fineS)
+		for _, tile := range tiles {
+			if tile <= 0 {
+				return nil, fmt.Errorf("experiments: non-positive tile %d", tile)
+			}
+			start := time.Now()
+			var itemCost int64
+			var blocks int
+			if tile == 1 {
+				p := sched.NewProblem(tr, 0)
+				s, err := sched.GOMCDS{}.Schedule(p)
+				if err != nil {
+					return nil, err
+				}
+				itemCost = p.Model.TotalCost(s)
+				blocks = tr.NumData
+			} else {
+				tm := coarse.TileMatrix(m, tile)
+				ct, err := coarse.Coarsen(tr, tm)
+				if err != nil {
+					return nil, err
+				}
+				cm := cost.NewModel(ct)
+				for blk, s := range tm.BlockSizes() {
+					cm.DataSize[blk] = s
+				}
+				p := sched.NewProblemFromModel(cm, 0)
+				bs, err := sched.GOMCDS{}.Schedule(p)
+				if err != nil {
+					return nil, err
+				}
+				fineModel := cost.NewModel(tr)
+				itemCost = fineModel.TotalCost(coarse.Expand(bs, tm))
+				blocks = tm.NumBlocks
+			}
+			elapsed := time.Since(start)
+			ratio := 0.0
+			if fineCost > 0 {
+				ratio = float64(itemCost) / float64(fineCost)
+			}
+			rows = append(rows, CoarseRow{
+				BenchmarkID: b.ID, Size: n, Tile: tile, Blocks: blocks,
+				Cost: itemCost, VsFine: ratio, Elapsed: elapsed,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderCoarseRows formats the coarsening study.
+func RenderCoarseRows(title string, rows []CoarseRow) *report.Table {
+	t := report.NewTable(title, "B.", "tile", "blocks", "cost", "xFine", "time")
+	for _, r := range rows {
+		t.AddF(r.BenchmarkID, r.Tile, r.Blocks, r.Cost,
+			fmt.Sprintf("%.2f", r.VsFine), r.Elapsed.Round(time.Millisecond).String())
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SimRow is one line of the execution-time study (experiment E5): a
+// benchmark under one scheduling scheme, run through the mesh
+// interconnect simulator.
+type SimRow struct {
+	BenchmarkID int
+	Size        int
+	Scheme      string
+	// Cycles is the simulated makespan with link contention.
+	Cycles int64
+	// FlitHops equals the analytic total communication cost.
+	FlitHops int64
+	// Messages is the number of point-to-point transfers.
+	Messages int
+	// MaxLinkFlits is the hottest link's carried volume.
+	MaxLinkFlits int64
+}
+
+// SimStudy simulates every paper benchmark at data size n under the
+// straightforward distribution and the three schedulers, reporting
+// simulated execution time alongside analytic cost. It demonstrates the
+// paper's motivation: reducing communication cost shortens execution.
+func SimStudy(cfg Config, n int, opts sim.Options) ([]SimRow, error) {
+	var rows []SimRow
+	for _, b := range workload.PaperBenchmarks() {
+		tr := b.Gen.Generate(n, cfg.Grid)
+		p := sched.NewProblem(tr, cfg.capacity(n))
+		schedulers := []sched.Scheduler{
+			sched.Fixed{Label: "S.F.", Assign: placement.RowWise(trace.SquareMatrix(n), cfg.Grid)},
+			sched.SCDS{},
+			sched.LOMCDS{},
+			sched.GOMCDS{},
+		}
+		simulator := sim.New(cfg.Grid, opts)
+		for _, s := range schedulers {
+			sc, err := s.Schedule(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sim study %d/%s: %v", b.ID, s.Name(), err)
+			}
+			res, err := simulator.Run(tr, sc)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sim study %d/%s: %v", b.ID, s.Name(), err)
+			}
+			rows = append(rows, SimRow{
+				BenchmarkID:  b.ID,
+				Size:         n,
+				Scheme:       s.Name(),
+				Cycles:       res.Cycles,
+				FlitHops:     res.FlitHops,
+				Messages:     res.Messages,
+				MaxLinkFlits: res.MaxLinkFlits,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderSimRows formats the simulation study as a text table.
+func RenderSimRows(title string, rows []SimRow) *report.Table {
+	t := report.NewTable(title, "B.", "Size", "Scheme", "Cycles", "FlitHops", "Msgs", "MaxLink")
+	for _, r := range rows {
+		t.AddF(r.BenchmarkID, fmt.Sprintf("%dx%d", r.Size, r.Size), r.Scheme,
+			r.Cycles, r.FlitHops, r.Messages, r.MaxLinkFlits)
+	}
+	return t
+}
+
+// VerifySimConsistency cross-checks one benchmark: the simulator's
+// flit-hops must equal the analytic cost for every scheme. It returns
+// the first inconsistency found, or nil.
+func VerifySimConsistency(cfg Config, n int) error {
+	for _, b := range workload.PaperBenchmarks() {
+		tr := b.Gen.Generate(n, cfg.Grid)
+		p := sched.NewProblem(tr, cfg.capacity(n))
+		for _, s := range []sched.Scheduler{sched.SCDS{}, sched.LOMCDS{}, sched.GOMCDS{}} {
+			sc, err := s.Schedule(p)
+			if err != nil {
+				return err
+			}
+			res, err := sim.Simulate(tr, sc, sim.Options{})
+			if err != nil {
+				return err
+			}
+			if want := p.Model.TotalCost(sc); res.FlitHops != want {
+				return fmt.Errorf("experiments: benchmark %d %s: simulated flit-hops %d != analytic cost %d",
+					b.ID, s.Name(), res.FlitHops, want)
+			}
+		}
+	}
+	return nil
+}
+
+// Schedules builds the schedule of every scheme for one benchmark and
+// size, for tools that want direct access (cmd/pimsim).
+func Schedules(cfg Config, benchmarkID, n int) (*trace.Trace, map[string]cost.Schedule, error) {
+	for _, b := range workload.PaperBenchmarks() {
+		if b.ID != benchmarkID {
+			continue
+		}
+		tr := b.Gen.Generate(n, cfg.Grid)
+		p := sched.NewProblem(tr, cfg.capacity(n))
+		out := make(map[string]cost.Schedule)
+		schedulers := []sched.Scheduler{
+			sched.Fixed{Label: "S.F.", Assign: placement.RowWise(trace.SquareMatrix(n), cfg.Grid)},
+			sched.SCDS{},
+			sched.LOMCDS{},
+			sched.GOMCDS{},
+		}
+		for _, s := range schedulers {
+			sc, err := s.Schedule(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[s.Name()] = sc
+		}
+		return tr, out, nil
+	}
+	return nil, nil, fmt.Errorf("experiments: unknown benchmark %d", benchmarkID)
+}

@@ -1,0 +1,192 @@
+// Package grid models the two-dimensional Processor-In-Memory (PIM)
+// processor array used throughout the data-scheduling study.
+//
+// The array is a W x H mesh of processors. Every processor is identified
+// either by its coordinate (x, y) or by a dense linear index in
+// row-major order (index = y*W + x). Inter-processor communication uses
+// dimension-ordered x-y routing: a message first travels along the
+// x-axis to the destination column, then along the y-axis to the
+// destination row. With unit link delay the cost of one transfer equals
+// the Manhattan distance between source and destination.
+package grid
+
+import (
+	"fmt"
+)
+
+// Coord is the position of a processor in the two-dimensional array.
+// X grows to the right (column index) and Y grows downward (row index),
+// matching the figures in the paper.
+type Coord struct {
+	X, Y int
+}
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Add returns the component-wise sum of two coordinates.
+func (c Coord) Add(o Coord) Coord { return Coord{c.X + o.X, c.Y + o.Y} }
+
+// Manhattan returns the L1 distance between two coordinates, which is
+// exactly the hop count of an x-y route between them.
+func (c Coord) Manhattan(o Coord) int {
+	return abs(c.X-o.X) + abs(c.Y-o.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Grid is a W x H processor array. The zero value is not usable; create
+// grids with New.
+type Grid struct {
+	w, h int
+}
+
+// New returns a grid with the given width (number of columns) and
+// height (number of rows). It panics if either dimension is not
+// positive; grid shapes are static configuration, so a bad shape is a
+// programming error rather than a runtime condition.
+func New(w, h int) Grid {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
+	}
+	return Grid{w: w, h: h}
+}
+
+// Square returns an n x n grid.
+func Square(n int) Grid { return New(n, n) }
+
+// Width returns the number of columns.
+func (g Grid) Width() int { return g.w }
+
+// Height returns the number of rows.
+func (g Grid) Height() int { return g.h }
+
+// NumProcs returns the total number of processors in the array.
+func (g Grid) NumProcs() int { return g.w * g.h }
+
+// String renders the grid shape as "WxH".
+func (g Grid) String() string { return fmt.Sprintf("%dx%d", g.w, g.h) }
+
+// Contains reports whether the coordinate lies inside the array.
+func (g Grid) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < g.w && c.Y >= 0 && c.Y < g.h
+}
+
+// Index converts a coordinate to its row-major linear index. It panics
+// if the coordinate is outside the grid.
+func (g Grid) Index(c Coord) int {
+	if !g.Contains(c) {
+		panic(fmt.Sprintf("grid: coordinate %v outside %v array", c, g))
+	}
+	return c.Y*g.w + c.X
+}
+
+// Coord converts a row-major linear index back to a coordinate. It
+// panics if the index is out of range.
+func (g Grid) Coord(index int) Coord {
+	if index < 0 || index >= g.NumProcs() {
+		panic(fmt.Sprintf("grid: index %d outside %v array", index, g))
+	}
+	return Coord{X: index % g.w, Y: index / g.w}
+}
+
+// Dist returns the x-y routing distance (Manhattan distance) between
+// the processors with the given linear indices.
+func (g Grid) Dist(a, b int) int {
+	return g.Coord(a).Manhattan(g.Coord(b))
+}
+
+// Neighbors appends to dst the linear indices of the mesh neighbours of
+// the processor with linear index p (up to four: west, east, north,
+// south) and returns the extended slice. Passing a reusable dst avoids
+// allocation in hot loops.
+func (g Grid) Neighbors(p int, dst []int) []int {
+	c := g.Coord(p)
+	for _, d := range [4]Coord{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+		n := c.Add(d)
+		if g.Contains(n) {
+			dst = append(dst, g.Index(n))
+		}
+	}
+	return dst
+}
+
+// Route returns the sequence of processor indices visited by an x-y
+// route from src to dst, inclusive of both endpoints. The route first
+// adjusts the x coordinate, then the y coordinate, matching the
+// dimension-ordered routing assumed by the cost model. Route(src, src)
+// returns [src].
+func (g Grid) Route(src, dst int) []int {
+	s, d := g.Coord(src), g.Coord(dst)
+	path := make([]int, 0, s.Manhattan(d)+1)
+	cur := s
+	path = append(path, g.Index(cur))
+	for cur.X != d.X {
+		cur.X += sign(d.X - cur.X)
+		path = append(path, g.Index(cur))
+	}
+	for cur.Y != d.Y {
+		cur.Y += sign(d.Y - cur.Y)
+		path = append(path, g.Index(cur))
+	}
+	return path
+}
+
+// RouteYX returns the dimension-ordered route that adjusts the y
+// coordinate first, then the x coordinate — the complementary ordering
+// to Route. Interconnect studies alternate the two to balance link
+// load (the O1TURN discipline); both have length Manhattan(src, dst).
+func (g Grid) RouteYX(src, dst int) []int {
+	s, d := g.Coord(src), g.Coord(dst)
+	path := make([]int, 0, s.Manhattan(d)+1)
+	cur := s
+	path = append(path, g.Index(cur))
+	for cur.Y != d.Y {
+		cur.Y += sign(d.Y - cur.Y)
+		path = append(path, g.Index(cur))
+	}
+	for cur.X != d.X {
+		cur.X += sign(d.X - cur.X)
+		path = append(path, g.Index(cur))
+	}
+	return path
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// DistanceTable returns a NumProcs x NumProcs matrix of pairwise x-y
+// routing distances. Schedulers that evaluate many candidate centers
+// use this to avoid recomputing coordinates in inner loops.
+func (g Grid) DistanceTable() [][]int {
+	n := g.NumProcs()
+	flat := make([]int, n*n)
+	table := make([][]int, n)
+	for i := 0; i < n; i++ {
+		table[i], flat = flat[:n], flat[n:]
+		ci := g.Coord(i)
+		for j := 0; j < n; j++ {
+			table[i][j] = ci.Manhattan(g.Coord(j))
+		}
+	}
+	return table
+}
+
+// Center returns the linear index of the processor closest to the
+// geometric centre of the array (ties broken toward the origin). It is
+// a convenient default placement target.
+func (g Grid) Center() int {
+	return g.Index(Coord{X: (g.w - 1) / 2, Y: (g.h - 1) / 2})
+}

@@ -1,0 +1,308 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 4}, {4, -1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestSquare(t *testing.T) {
+	g := Square(4)
+	if g.Width() != 4 || g.Height() != 4 || g.NumProcs() != 16 {
+		t.Fatalf("Square(4) = %v with %d procs", g, g.NumProcs())
+	}
+	if g.String() != "4x4" {
+		t.Errorf("String() = %q, want 4x4", g.String())
+	}
+}
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	g := New(5, 3)
+	for i := 0; i < g.NumProcs(); i++ {
+		c := g.Coord(i)
+		if !g.Contains(c) {
+			t.Fatalf("Coord(%d) = %v not contained", i, c)
+		}
+		if got := g.Index(c); got != i {
+			t.Fatalf("Index(Coord(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestIndexRowMajorOrder(t *testing.T) {
+	g := New(4, 4)
+	if got := g.Index(Coord{X: 2, Y: 1}); got != 6 {
+		t.Errorf("Index((2,1)) = %d, want 6", got)
+	}
+	if got := g.Coord(6); got != (Coord{X: 2, Y: 1}) {
+		t.Errorf("Coord(6) = %v, want (2,1)", got)
+	}
+}
+
+func TestIndexPanicsOutside(t *testing.T) {
+	g := New(2, 2)
+	for _, c := range []Coord{{-1, 0}, {2, 0}, {0, 2}, {5, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%v) did not panic", c)
+				}
+			}()
+			g.Index(c)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Coord(99) did not panic")
+			}
+		}()
+		g.Coord(99)
+	}()
+}
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{3, 0}, 3},
+		{Coord{0, 0}, Coord{0, 3}, 3},
+		{Coord{1, 2}, Coord{3, 1}, 3},
+		{Coord{3, 3}, Coord{0, 0}, 6},
+	}
+	for _, c := range cases {
+		if got := c.a.Manhattan(c.b); got != c.want {
+			t.Errorf("Manhattan(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Manhattan distance is a metric on the grid.
+func TestManhattanIsMetric(t *testing.T) {
+	g := New(7, 5)
+	n := g.NumProcs()
+	f := func(ai, bi, ci uint8) bool {
+		a := g.Coord(int(ai) % n)
+		b := g.Coord(int(bi) % n)
+		c := g.Coord(int(ci) % n)
+		if a.Manhattan(a) != 0 {
+			return false
+		}
+		if a.Manhattan(b) != b.Manhattan(a) {
+			return false
+		}
+		if a.Manhattan(b) < 0 {
+			return false
+		}
+		// Triangle inequality.
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identity of indiscernibles — zero distance iff same node.
+func TestManhattanZeroIffEqual(t *testing.T) {
+	g := New(6, 6)
+	n := g.NumProcs()
+	f := func(ai, bi uint8) bool {
+		a, b := int(ai)%n, int(bi)%n
+		return (g.Dist(a, b) == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteEndpointsAndLength(t *testing.T) {
+	g := New(4, 4)
+	f := func(si, di uint8) bool {
+		s, d := int(si)%16, int(di)%16
+		path := g.Route(s, d)
+		if path[0] != s || path[len(path)-1] != d {
+			return false
+		}
+		// Path length (hops) equals Manhattan distance.
+		if len(path)-1 != g.Dist(s, d) {
+			return false
+		}
+		// Consecutive elements are mesh neighbours.
+		for i := 1; i < len(path); i++ {
+			if g.Dist(path[i-1], path[i]) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteIsXFirst(t *testing.T) {
+	g := New(4, 4)
+	// (0,0) -> (2,2): expect x movement first: (0,0)(1,0)(2,0)(2,1)(2,2).
+	path := g.Route(g.Index(Coord{0, 0}), g.Index(Coord{2, 2}))
+	want := []Coord{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}}
+	if len(path) != len(want) {
+		t.Fatalf("route length %d, want %d", len(path), len(want))
+	}
+	for i, p := range path {
+		if g.Coord(p) != want[i] {
+			t.Errorf("hop %d = %v, want %v", i, g.Coord(p), want[i])
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	g := New(3, 3)
+	path := g.Route(4, 4)
+	if len(path) != 1 || path[0] != 4 {
+		t.Errorf("Route(4,4) = %v, want [4]", path)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := New(3, 3)
+	cases := []struct {
+		p    Coord
+		want int
+	}{
+		{Coord{0, 0}, 2}, // corner
+		{Coord{1, 0}, 3}, // edge
+		{Coord{1, 1}, 4}, // interior
+	}
+	for _, c := range cases {
+		got := g.Neighbors(g.Index(c.p), nil)
+		if len(got) != c.want {
+			t.Errorf("Neighbors(%v) = %v, want %d entries", c.p, got, c.want)
+		}
+		for _, n := range got {
+			if g.Dist(g.Index(c.p), n) != 1 {
+				t.Errorf("neighbor %d of %v is not adjacent", n, c.p)
+			}
+		}
+	}
+}
+
+func TestNeighborsReusesDst(t *testing.T) {
+	g := New(3, 3)
+	buf := make([]int, 0, 8)
+	got := g.Neighbors(4, buf)
+	if len(got) != 4 {
+		t.Fatalf("interior node has %d neighbors, want 4", len(got))
+	}
+	if cap(got) != cap(buf) {
+		t.Error("Neighbors reallocated despite sufficient capacity")
+	}
+}
+
+func TestDistanceTable(t *testing.T) {
+	g := New(4, 3)
+	tbl := g.DistanceTable()
+	n := g.NumProcs()
+	if len(tbl) != n {
+		t.Fatalf("table has %d rows, want %d", len(tbl), n)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 200; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if tbl[i][j] != g.Dist(i, j) {
+			t.Fatalf("table[%d][%d] = %d, want %d", i, j, tbl[i][j], g.Dist(i, j))
+		}
+	}
+}
+
+func TestCenter(t *testing.T) {
+	cases := []struct {
+		g    Grid
+		want Coord
+	}{
+		{New(4, 4), Coord{1, 1}},
+		{New(3, 3), Coord{1, 1}},
+		{New(1, 1), Coord{0, 0}},
+		{New(5, 2), Coord{2, 0}},
+	}
+	for _, c := range cases {
+		if got := c.g.Coord(c.g.Center()); got != c.want {
+			t.Errorf("Center of %v = %v, want %v", c.g, got, c.want)
+		}
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if got := (Coord{2, 3}).String(); got != "(2,3)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func BenchmarkDistanceTable16(b *testing.B) {
+	g := Square(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.DistanceTable()
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	g := Square(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Route(0, g.NumProcs()-1)
+	}
+}
+
+func TestRouteYX(t *testing.T) {
+	g := New(4, 4)
+	// (0,0) -> (2,2): y movement first: (0,0)(0,1)(0,2)(1,2)(2,2).
+	path := g.RouteYX(g.Index(Coord{0, 0}), g.Index(Coord{2, 2}))
+	want := []Coord{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {2, 2}}
+	if len(path) != len(want) {
+		t.Fatalf("route length %d, want %d", len(path), len(want))
+	}
+	for i, p := range path {
+		if g.Coord(p) != want[i] {
+			t.Errorf("hop %d = %v, want %v", i, g.Coord(p), want[i])
+		}
+	}
+}
+
+func TestRouteYXProperties(t *testing.T) {
+	g := New(5, 3)
+	n := g.NumProcs()
+	f := func(si, di uint8) bool {
+		s, d := int(si)%n, int(di)%n
+		path := g.RouteYX(s, d)
+		if path[0] != s || path[len(path)-1] != d {
+			return false
+		}
+		if len(path)-1 != g.Dist(s, d) {
+			return false
+		}
+		for i := 1; i < len(path); i++ {
+			if g.Dist(path[i-1], path[i]) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

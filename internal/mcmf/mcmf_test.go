@@ -1,0 +1,214 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleFlow(t *testing.T) {
+	// src -> a -> dst and src -> b -> dst; capacities 1 each.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(1, 3, 1, 1)
+	g.AddEdge(0, 2, 1, 5)
+	g.AddEdge(2, 3, 1, 5)
+	flow, cost := g.MinCostFlow(0, 3, math.MaxInt64)
+	if flow != 2 || cost != 12 {
+		t.Fatalf("flow=%d cost=%d, want 2/12", flow, cost)
+	}
+}
+
+func TestPrefersCheapPath(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(1, 3, 2, 1)
+	g.AddEdge(0, 2, 2, 5)
+	g.AddEdge(2, 3, 2, 5)
+	flow, cost := g.MinCostFlow(0, 3, 1)
+	if flow != 1 || cost != 2 {
+		t.Fatalf("flow=%d cost=%d, want 1/2 (cheap path only)", flow, cost)
+	}
+}
+
+func TestFlowLimit(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 10, 3)
+	flow, cost := g.MinCostFlow(0, 1, 4)
+	if flow != 4 || cost != 12 {
+		t.Fatalf("flow=%d cost=%d", flow, cost)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1, 1)
+	flow, cost := g.MinCostFlow(0, 2, math.MaxInt64)
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow=%d cost=%d, want 0/0", flow, cost)
+	}
+}
+
+func TestEdgeFlowReadback(t *testing.T) {
+	g := NewGraph(3)
+	a := g.AddEdge(0, 1, 2, 1)
+	b := g.AddEdge(1, 2, 1, 1)
+	g.MinCostFlow(0, 2, math.MaxInt64)
+	if g.Flow(a) != 1 || g.Flow(b) != 1 {
+		t.Fatalf("edge flows %d/%d, want 1/1", g.Flow(a), g.Flow(b))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewGraph(0) },
+		func() { NewGraph(2).AddEdge(0, 5, 1, 1) },
+		func() { NewGraph(2).AddEdge(0, 1, -1, 1) },
+		func() { NewGraph(2).AddEdge(0, 1, 1, -1) },
+		func() { NewGraph(2).MinCostFlow(0, 9, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	a, c, err := Assign(0, 4, 1, nil)
+	if err != nil || a != nil || c != 0 {
+		t.Fatalf("empty assign: %v %v %v", a, c, err)
+	}
+}
+
+func TestAssignInfeasible(t *testing.T) {
+	if _, _, err := Assign(5, 2, 2, func(i, b int) int64 { return 0 }); err == nil {
+		t.Fatal("infeasible assignment accepted")
+	}
+	if _, _, err := Assign(1, 0, 1, func(i, b int) int64 { return 0 }); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestAssignHandExample(t *testing.T) {
+	// Two items, two bins of capacity 1. Both prefer bin 0; the exact
+	// solver must split them to minimize the sum.
+	costs := [][]int64{{0, 10}, {1, 3}}
+	assign, total, err := Assign(2, 2, 1, func(i, b int) int64 { return costs[i][b] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Options: item0->0,item1->1 = 3; item0->1,item1->0 = 11.
+	if total != 3 || assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("assign=%v total=%d", assign, total)
+	}
+}
+
+func TestAssignGreedyIsWorse(t *testing.T) {
+	// The greedy processor-list order (item 0 first) takes bin 0 for
+	// item 0 and forces item 1 to a terrible bin; the exact solver
+	// avoids that.
+	costs := [][]int64{{0, 1}, {0, 100}}
+	assign, total, err := Assign(2, 2, 1, func(i, b int) int64 { return costs[i][b] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1 {
+		t.Fatalf("total=%d assign=%v, want 1 (item0->1, item1->0)", total, assign)
+	}
+}
+
+// Property: on random instances the exact assignment is never worse
+// than the greedy first-fit-by-cost discipline, and matches brute force
+// on tiny instances.
+func TestAssignOptimalVsBruteAndGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 60; iter++ {
+		nItems := 1 + rng.Intn(5)
+		nBins := 1 + rng.Intn(4)
+		capacity := int64(1 + rng.Intn(3))
+		if capacity*int64(nBins) < int64(nItems) {
+			capacity = int64(nItems) // keep feasible
+		}
+		costs := make([][]int64, nItems)
+		for i := range costs {
+			costs[i] = make([]int64, nBins)
+			for b := range costs[i] {
+				costs[i][b] = int64(rng.Intn(50))
+			}
+		}
+		costFn := func(i, b int) int64 { return costs[i][b] }
+
+		_, got, err := Assign(nItems, nBins, capacity, costFn)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force over all bin sequences respecting capacity.
+		best := int64(math.MaxInt64)
+		used := make([]int64, nBins)
+		var rec func(i int, sofar int64)
+		rec = func(i int, sofar int64) {
+			if sofar >= best {
+				return
+			}
+			if i == nItems {
+				best = sofar
+				return
+			}
+			for b := 0; b < nBins; b++ {
+				if used[b] < capacity {
+					used[b]++
+					rec(i+1, sofar+costs[i][b])
+					used[b]--
+				}
+			}
+		}
+		rec(0, 0)
+		if got != best {
+			t.Fatalf("iter %d: exact %d != brute %d", iter, got, best)
+		}
+
+		// Greedy first-fit in item order.
+		greedy := int64(0)
+		for b := range used {
+			used[b] = 0
+		}
+		for i := 0; i < nItems; i++ {
+			bestBin, bestCost := -1, int64(math.MaxInt64)
+			for b := 0; b < nBins; b++ {
+				if used[b] < capacity && costs[i][b] < bestCost {
+					bestBin, bestCost = b, costs[i][b]
+				}
+			}
+			used[bestBin]++
+			greedy += bestCost
+		}
+		if got > greedy {
+			t.Fatalf("iter %d: exact %d > greedy %d", iter, got, greedy)
+		}
+	}
+}
+
+func BenchmarkAssign256x16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	costs := make([][]int64, 256)
+	for i := range costs {
+		costs[i] = make([]int64, 16)
+		for j := range costs[i] {
+			costs[i][j] = int64(rng.Intn(100))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Assign(256, 16, 32, func(i, j int) int64 { return costs[i][j] }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func randomProblem(rng *rand.Rand, capacitated bool) *sched.Problem {
+	g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+	nd := 1 + rng.Intn(5)
+	tr := trace.New(g, nd)
+	for w := 0; w < 1+rng.Intn(6); w++ {
+		win := tr.AddWindow()
+		for r := 0; r < rng.Intn(12); r++ {
+			win.AddVolume(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)), 1+rng.Intn(3))
+		}
+	}
+	capa := 0
+	if capacitated {
+		capa = placement.PaperCapacity(nd, g.NumProcs())
+	}
+	return sched.NewProblem(tr, capa)
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Scheduler{
+		"online-stay-put":      {Policy: StayPut},
+		"online-chase":         {Policy: Chase},
+		"online-hysteresis":    {Policy: Hysteresis},
+		"online-hysteresis(2)": {Policy: Hysteresis, Factor: 2},
+	}
+	for want, s := range cases {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy has empty string")
+	}
+}
+
+func TestStayPutNeverMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for iter := 0; iter < 30; iter++ {
+		p := randomProblem(rng, false)
+		s, err := Scheduler{Policy: StayPut}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Model.MoveCost(s) != 0 {
+			t.Fatalf("iter %d: stay-put moved data (cost %d)", iter, p.Model.MoveCost(s))
+		}
+	}
+}
+
+func TestChaseMatchesLOMCDSResidence(t *testing.T) {
+	// Uncapacitated, chase picks the same per-window local optima as
+	// LOMCDS (both with lowest-index tie-breaking and stay-put on
+	// unreferenced windows), so the residence costs agree.
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 30; iter++ {
+		p := randomProblem(rng, false)
+		online, err := Scheduler{Policy: Chase}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline, err := sched.LOMCDS{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := p.Model.ResidenceCost(online), p.Model.ResidenceCost(offline); a != b {
+			t.Fatalf("iter %d: chase residence %d != LOMCDS residence %d", iter, a, b)
+		}
+	}
+}
+
+// The offline optimum is a lower bound for every online policy.
+func TestOnlineNeverBeatsOfflineOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for iter := 0; iter < 40; iter++ {
+		p := randomProblem(rng, false)
+		opt, err := sched.GOMCDS{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCost := p.Model.TotalCost(opt)
+		for _, policy := range []Policy{StayPut, Chase, Hysteresis} {
+			s, err := Scheduler{Policy: policy}.Schedule(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.Model.TotalCost(s); got < optCost {
+				t.Fatalf("iter %d: %v cost %d beats offline optimum %d",
+					iter, policy, got, optCost)
+			}
+		}
+	}
+}
+
+// Hysteresis on a phase-shift workload: cheaper than stay-put (which
+// pays remote references forever) and than chase on an oscillating
+// workload (which pays a move every window).
+func TestHysteresisBalancesExtremes(t *testing.T) {
+	g := grid.Square(4)
+
+	// Phase shift: 6 windows at corner 0, then 6 at corner 15.
+	shift := trace.New(g, 1)
+	for w := 0; w < 12; w++ {
+		win := shift.AddWindow()
+		corner := 0
+		if w >= 6 {
+			corner = 15
+		}
+		win.AddVolume(corner, 0, 2)
+	}
+	p := sched.NewProblem(shift, 0)
+	hys, err := Scheduler{Policy: Hysteresis}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay, err := Scheduler{Policy: StayPut}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.TotalCost(hys) >= p.Model.TotalCost(stay) {
+		t.Fatalf("phase shift: hysteresis %d >= stay-put %d",
+			p.Model.TotalCost(hys), p.Model.TotalCost(stay))
+	}
+
+	// Oscillation: references alternate corners every window with tiny
+	// volume, so moving every window is wasteful.
+	osc := trace.New(g, 1)
+	for w := 0; w < 12; w++ {
+		win := osc.AddWindow()
+		corner := 0
+		if w%2 == 1 {
+			corner = 15
+		}
+		win.Add(corner, 0)
+	}
+	p2 := sched.NewProblem(osc, 0)
+	hys2, err := Scheduler{Policy: Hysteresis}.Schedule(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chase2, err := Scheduler{Policy: Chase}.Schedule(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Model.TotalCost(hys2) > p2.Model.TotalCost(chase2) {
+		t.Fatalf("oscillation: hysteresis %d > chase %d",
+			p2.Model.TotalCost(hys2), p2.Model.TotalCost(chase2))
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for iter := 0; iter < 30; iter++ {
+		p := randomProblem(rng, true)
+		for _, policy := range []Policy{StayPut, Chase, Hysteresis} {
+			s, err := Scheduler{Policy: policy}.Schedule(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(p.Model.Grid, p.Model.NumData, p.Model.NumWindows()); err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < p.Model.NumWindows(); w++ {
+				used := make([]int, p.Model.Grid.NumProcs())
+				for d := 0; d < p.Model.NumData; d++ {
+					used[s.Centers[w][d]]++
+				}
+				for proc, n := range used {
+					if n > p.Capacity {
+						t.Fatalf("iter %d %v w%d: proc %d holds %d > %d",
+							iter, policy, w, proc, n, p.Capacity)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInfeasibleRejected(t *testing.T) {
+	tr := trace.New(grid.Square(2), 10)
+	tr.AddWindow().Add(0, 0)
+	p := sched.NewProblem(tr, 2)
+	if _, err := (Scheduler{Policy: Chase}).Schedule(p); err == nil {
+		t.Fatal("infeasible capacity accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := trace.New(grid.Square(2), 2)
+	p := sched.NewProblem(tr, 0)
+	s, err := Scheduler{Policy: Hysteresis}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumWindows() != 0 {
+		t.Fatal("windows scheduled for empty trace")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	p := randomProblem(rng, true)
+	for _, policy := range []Policy{StayPut, Chase, Hysteresis} {
+		a, err := Scheduler{Policy: policy}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Scheduler{Policy: policy}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range a.Centers {
+			for d := range a.Centers[w] {
+				if a.Centers[w][d] != b.Centers[w][d] {
+					t.Fatalf("%v nondeterministic at (%d,%d)", policy, w, d)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkHysteresis(b *testing.B) {
+	rng := rand.New(rand.NewSource(65))
+	g := grid.Square(4)
+	tr := trace.New(g, 256)
+	for w := 0; w < 32; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < 512; r++ {
+			win.Add(rng.Intn(16), trace.DataID(rng.Intn(256)))
+		}
+	}
+	p := sched.NewProblem(tr, placement.PaperCapacity(256, 16))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Scheduler{Policy: Hysteresis}).Schedule(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package parallel provides small worker-pool helpers used by the
+// schedulers and the cost model to spread independent per-data-item
+// work across CPU cores. The data-scheduling problem decomposes
+// perfectly by data item (the paper schedules every item
+// independently), so a static block partition of the index space is
+// both simple and balanced.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for every i in [0, n), distributing iterations
+// over up to GOMAXPROCS goroutines. fn must be safe for concurrent
+// invocation on distinct indices. ForEach returns after every call has
+// completed. It runs inline when n is small to avoid goroutine
+// overhead on tiny problems.
+func ForEach(n int, fn func(i int)) {
+	ForEachN(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForEachN is ForEach with an explicit worker count, primarily for
+// tests and scaling benchmarks. workers < 1 is treated as 1.
+func ForEachN(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		// Static block partition: worker w handles [lo, hi).
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduce applies fn(i) for every i in [0, n) in parallel and
+// combines the results with merge. merge is called serially, so it
+// needs no synchronization, but the combination order is unspecified;
+// merge must be commutative and associative for a deterministic result.
+func MapReduce[T any](n int, fn func(i int) T, zero T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return zero
+	}
+	results := make([]T, n)
+	ForEach(n, func(i int) { results[i] = fn(i) })
+	acc := zero
+	for _, r := range results {
+		acc = merge(acc, r)
+	}
+	return acc
+}
+
+// SumInt64 runs fn(i) for i in [0, n) in parallel and returns the sum
+// of the results. It is the common reduction in cost evaluation.
+func SumInt64(n int, fn func(i int) int64) int64 {
+	return MapReduce(n, fn, 0, func(a, b int64) int64 { return a + b })
+}

@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForEachNWorkerCounts(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1, 2, 7, 64} {
+		const n = 57
+		var count int64
+		ForEachN(n, workers, func(i int) { atomic.AddInt64(&count, 1) })
+		if count != n {
+			t.Fatalf("workers=%d: %d calls, want %d", workers, count, n)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, func(int) { called = true })
+	ForEach(-5, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	got := SumInt64(100, func(i int) int64 { return int64(i) })
+	if got != 4950 {
+		t.Fatalf("SumInt64 = %d, want 4950", got)
+	}
+	if got := SumInt64(0, func(i int) int64 { return 1 }); got != 0 {
+		t.Fatalf("empty SumInt64 = %d", got)
+	}
+}
+
+// Property: parallel sum equals serial sum for arbitrary inputs.
+func TestSumMatchesSerial(t *testing.T) {
+	f := func(vals []int32) bool {
+		want := int64(0)
+		for _, v := range vals {
+			want += int64(v)
+		}
+		got := SumInt64(len(vals), func(i int) int64 { return int64(vals[i]) })
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapReduceMax(t *testing.T) {
+	vals := []int{3, 9, 2, 9, 1}
+	got := MapReduce(len(vals), func(i int) int { return vals[i] }, -1,
+		func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if got != 9 {
+		t.Fatalf("max = %d", got)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	work := func(i int) {
+		s := 0
+		for j := 0; j < 1000; j++ {
+			s += i * j
+		}
+		_ = s
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ForEachN(256, 1, work)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ForEach(256, work)
+		}
+	})
+}

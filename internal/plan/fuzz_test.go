@@ -1,0 +1,42 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodePlan checks the plan codec never panics and that accepted
+// plans survive a round trip.
+func FuzzDecodePlan(f *testing.F) {
+	seeds := []string{
+		"pimplan v1\ngrid 2 2\nphase\nmove 0 1 0 1\nserve 1 2 3 4\n",
+		"pimplan v1\ngrid 4 4\n",
+		"pimplan v1\ngrid 1 1\nphase\n",
+		"junk",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode accepted invalid plan: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, p); err != nil {
+			t.Fatalf("Encode failed: %v", err)
+		}
+		again, err := Decode(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v", err)
+		}
+		if again.NumMessages() != p.NumMessages() || again.FlitHops() != p.FlitHops() {
+			t.Fatalf("round trip changed plan: %d/%d vs %d/%d",
+				again.NumMessages(), again.FlitHops(), p.NumMessages(), p.FlitHops())
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package plan lowers a data schedule into the executable
+// communication plan a PIM runtime would ship to the array: for every
+// execution window, the ordered list of data-movement messages (items
+// whose centers changed) followed by the reference-serving messages
+// (one aggregated transfer per item and remote reader). The plan is the
+// boundary artifact between scheduling and execution — the simulator
+// executes plans, and the text codec lets plans be stored or fed to
+// external tooling.
+package plan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// Message is one point-to-point transfer of a data item.
+type Message struct {
+	Src, Dst int
+	Data     trace.DataID
+	Volume   int64
+}
+
+// Phase is one execution window's traffic: the moves that establish the
+// window's placement, then the serves that satisfy its references.
+type Phase struct {
+	Moves  []Message
+	Serves []Message
+}
+
+// Plan is a complete lowered schedule.
+type Plan struct {
+	Grid   grid.Grid
+	Phases []Phase
+}
+
+// Build lowers a schedule against its trace. Movement volume is the
+// model's default item size (one unit); serve messages aggregate each
+// (item, reader) pair's volume within the window. Messages are emitted
+// in (item, processor) order, so plans are deterministic.
+func Build(t *trace.Trace, s cost.Schedule) (*Plan, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: %v", err)
+	}
+	if err := s.Validate(t.Grid, t.NumData, t.NumWindows()); err != nil {
+		return nil, fmt.Errorf("plan: %v", err)
+	}
+	counts := t.BuildCounts()
+	p := &Plan{Grid: t.Grid, Phases: make([]Phase, t.NumWindows())}
+	for w := 0; w < t.NumWindows(); w++ {
+		ph := &p.Phases[w]
+		if w > 0 {
+			for d := 0; d < t.NumData; d++ {
+				from, to := s.Centers[w-1][d], s.Centers[w][d]
+				if from != to {
+					ph.Moves = append(ph.Moves, Message{Src: from, Dst: to, Data: trace.DataID(d), Volume: 1})
+				}
+			}
+		}
+		for d := 0; d < t.NumData; d++ {
+			c := s.Centers[w][d]
+			for proc, v := range counts[w][d] {
+				if v != 0 && proc != c {
+					ph.Serves = append(ph.Serves, Message{Src: c, Dst: proc, Data: trace.DataID(d), Volume: int64(v)})
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// NumMessages returns the total message count.
+func (p *Plan) NumMessages() int {
+	n := 0
+	for i := range p.Phases {
+		n += len(p.Phases[i].Moves) + len(p.Phases[i].Serves)
+	}
+	return n
+}
+
+// FlitHops returns the total volume-weighted hop count — the analytic
+// communication cost the plan realizes.
+func (p *Plan) FlitHops() int64 {
+	var total int64
+	for i := range p.Phases {
+		for _, m := range p.Phases[i].Moves {
+			total += m.Volume * int64(p.Grid.Dist(m.Src, m.Dst))
+		}
+		for _, m := range p.Phases[i].Serves {
+			total += m.Volume * int64(p.Grid.Dist(m.Src, m.Dst))
+		}
+	}
+	return total
+}
+
+// Validate checks every message's endpoints and volume.
+func (p *Plan) Validate() error {
+	np := p.Grid.NumProcs()
+	check := func(kind string, w int, m Message) error {
+		if m.Src < 0 || m.Src >= np || m.Dst < 0 || m.Dst >= np {
+			return fmt.Errorf("plan: phase %d %s message endpoints (%d,%d) outside %v array", w, kind, m.Src, m.Dst, p.Grid)
+		}
+		if m.Src == m.Dst {
+			return fmt.Errorf("plan: phase %d %s message is a self-loop on %d", w, kind, m.Src)
+		}
+		if m.Volume <= 0 {
+			return fmt.Errorf("plan: phase %d %s message has volume %d", w, kind, m.Volume)
+		}
+		if m.Data < 0 {
+			return fmt.Errorf("plan: phase %d %s message has negative item %d", w, kind, m.Data)
+		}
+		return nil
+	}
+	for w := range p.Phases {
+		for _, m := range p.Phases[w].Moves {
+			if err := check("move", w, m); err != nil {
+				return err
+			}
+		}
+		for _, m := range p.Phases[w].Serves {
+			if err := check("serve", w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+const formatHeader = "pimplan v1"
+
+// Encode writes the plan in a line-oriented text format:
+//
+//	pimplan v1
+//	grid <w> <h>
+//	phase
+//	move <src> <dst> <data> <volume>
+//	serve <src> <dst> <data> <volume>
+func Encode(w io.Writer, p *Plan) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "grid %d %d\n", p.Grid.Width(), p.Grid.Height())
+	for i := range p.Phases {
+		fmt.Fprintln(bw, "phase")
+		for _, m := range p.Phases[i].Moves {
+			fmt.Fprintf(bw, "move %d %d %d %d\n", m.Src, m.Dst, m.Data, m.Volume)
+		}
+		for _, m := range p.Phases[i].Serves {
+			fmt.Fprintf(bw, "serve %d %d %d %d\n", m.Src, m.Dst, m.Data, m.Volume)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses and validates a plan.
+func Decode(r io.Reader) (*Plan, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	line, ok := next()
+	if !ok || line != formatHeader {
+		return nil, fmt.Errorf("plan: line %d: bad header %q", lineNo, line)
+	}
+	line, ok = next()
+	if !ok {
+		return nil, fmt.Errorf("plan: missing grid directive")
+	}
+	var gw, gh int
+	if _, err := fmt.Sscanf(line, "grid %d %d", &gw, &gh); err != nil || gw <= 0 || gh <= 0 {
+		return nil, fmt.Errorf("plan: line %d: bad grid %q", lineNo, line)
+	}
+	p := &Plan{Grid: grid.New(gw, gh)}
+	for {
+		line, ok = next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "phase":
+			p.Phases = append(p.Phases, Phase{})
+		case "move", "serve":
+			if len(p.Phases) == 0 {
+				return nil, fmt.Errorf("plan: line %d: message outside a phase", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("plan: line %d: %s takes four arguments", lineNo, fields[0])
+			}
+			vals := make([]int64, 4)
+			for i, f := range fields[1:] {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("plan: line %d: malformed %q", lineNo, line)
+				}
+				vals[i] = v
+			}
+			m := Message{Src: int(vals[0]), Dst: int(vals[1]), Data: trace.DataID(vals[2]), Volume: vals[3]}
+			ph := &p.Phases[len(p.Phases)-1]
+			if fields[0] == "move" {
+				ph.Moves = append(ph.Moves, m)
+			} else {
+				ph.Serves = append(ph.Serves, m)
+			}
+		default:
+			return nil, fmt.Errorf("plan: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("plan: read: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func buildSample(t *testing.T) (*trace.Trace, cost.Schedule, *Plan) {
+	t.Helper()
+	g := grid.Square(2)
+	tr := trace.New(g, 2)
+	w0 := tr.AddWindow()
+	w0.AddVolume(3, 0, 2) // remote read of item 0
+	w0.Add(0, 0)          // local if item 0 at proc 0
+	tr.AddWindow().Add(1, 1)
+	sc := cost.Schedule{Centers: [][]int{{0, 1}, {3, 1}}} // item 0 moves 0->3
+	p, err := Build(tr, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, sc, p
+}
+
+func TestBuildShape(t *testing.T) {
+	_, _, p := buildSample(t)
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d", len(p.Phases))
+	}
+	// Window 0: no moves; serves: item 0 from 0 to 3 (volume 2). The
+	// local reference and item 1 (unreferenced) produce nothing.
+	if len(p.Phases[0].Moves) != 0 || len(p.Phases[0].Serves) != 1 {
+		t.Fatalf("phase 0: %+v", p.Phases[0])
+	}
+	serve := p.Phases[0].Serves[0]
+	if serve != (Message{Src: 0, Dst: 3, Data: 0, Volume: 2}) {
+		t.Fatalf("serve = %+v", serve)
+	}
+	// Window 1: item 0 moves 0->3; item 1 served locally (nothing).
+	if len(p.Phases[1].Moves) != 1 || len(p.Phases[1].Serves) != 0 {
+		t.Fatalf("phase 1: %+v", p.Phases[1])
+	}
+	move := p.Phases[1].Moves[0]
+	if move != (Message{Src: 0, Dst: 3, Data: 0, Volume: 1}) {
+		t.Fatalf("move = %+v", move)
+	}
+}
+
+func TestFlitHopsMatchModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for iter := 0; iter < 30; iter++ {
+		g := grid.New(1+rng.Intn(4), 1+rng.Intn(4))
+		nd := 1 + rng.Intn(5)
+		tr := trace.New(g, nd)
+		for w := 0; w < 1+rng.Intn(4); w++ {
+			win := tr.AddWindow()
+			for r := 0; r < rng.Intn(12); r++ {
+				win.AddVolume(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)), 1+rng.Intn(3))
+			}
+		}
+		m := cost.NewModel(tr)
+		sc := cost.Schedule{Centers: make([][]int, tr.NumWindows())}
+		for w := range sc.Centers {
+			sc.Centers[w] = make([]int, nd)
+			for d := range sc.Centers[w] {
+				sc.Centers[w][d] = rng.Intn(g.NumProcs())
+			}
+		}
+		p, err := Build(tr, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := p.FlitHops(), m.TotalCost(sc); got != want {
+			t.Fatalf("iter %d: plan flit-hops %d != model cost %d", iter, got, want)
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	g := grid.Square(2)
+	tr := trace.New(g, 1)
+	tr.AddWindow().Add(0, 0)
+	if _, err := Build(tr, cost.Schedule{}); err == nil {
+		t.Error("short schedule accepted")
+	}
+	bad := trace.New(g, 1)
+	bad.AddWindow().Refs = append(bad.Windows[0].Refs, trace.Ref{Proc: 9, Data: 0, Volume: 1})
+	if _, err := Build(bad, cost.Uniform([]int{0}, 1)); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, _, p := buildSample(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != p.Grid || !reflect.DeepEqual(got.Phases, p.Phases) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got.Phases, p.Phases)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "nope\n"},
+		{"missing grid", "pimplan v1\nphase\n"},
+		{"bad grid", "pimplan v1\ngrid 0 2\n"},
+		{"msg outside phase", "pimplan v1\ngrid 2 2\nmove 0 1 0 1\n"},
+		{"bad argc", "pimplan v1\ngrid 2 2\nphase\nmove 0 1 0\n"},
+		{"non-numeric", "pimplan v1\ngrid 2 2\nphase\nmove a 1 0 1\n"},
+		{"unknown directive", "pimplan v1\ngrid 2 2\nbogus\n"},
+		{"self loop", "pimplan v1\ngrid 2 2\nphase\nmove 1 1 0 1\n"},
+		{"bad endpoint", "pimplan v1\ngrid 2 2\nphase\nserve 0 9 0 1\n"},
+		{"zero volume", "pimplan v1\ngrid 2 2\nphase\nserve 0 1 0 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Decode succeeded", c.name)
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	g := grid.Square(4)
+	tr := workload.Code{Seed: 11}.Generate(8, g)
+	pr := sched.NewProblem(tr, 0)
+	sc, err := sched.GOMCDS{}.Schedule(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(tr, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(tr, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Build is nondeterministic")
+	}
+	if a.NumMessages() == 0 {
+		t.Fatal("plan carries no traffic for a remote-heavy workload")
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	tr := trace.New(grid.Square(2), 1)
+	p, err := Build(tr, cost.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumMessages() != 0 || p.FlitHops() != 0 {
+		t.Fatalf("empty plan: %d msgs", p.NumMessages())
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package render draws text visualizations of the processor array:
+// per-processor heatmaps of reference density, memory occupancy and
+// placement, the closest a terminal gets to the paper's Figure 1.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// shades maps a 0..9 intensity to a character.
+const shades = " .:-=+*#%@"
+
+// Heatmap renders per-processor values as a W x H character map with a
+// 0-9 intensity scale (blank = zero, '@' = maximum), plus the scale's
+// maximum for reading absolute numbers. len(values) must equal the
+// array size.
+func Heatmap(g grid.Grid, values []int64, title string) string {
+	if len(values) != g.NumProcs() {
+		panic(fmt.Sprintf("render: %d values for a %v array", len(values), g))
+	}
+	var max int64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s (max %d)\n", title, max)
+	}
+	for y := 0; y < g.Height(); y++ {
+		b.WriteString("  ")
+		for x := 0; x < g.Width(); x++ {
+			v := values[g.Index(grid.Coord{X: x, Y: y})]
+			b.WriteByte(shades[intensity(v, max)])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func intensity(v, max int64) int {
+	if max == 0 || v <= 0 {
+		return 0
+	}
+	i := int((v*int64(len(shades)-1) + max - 1) / max)
+	if i >= len(shades) {
+		i = len(shades) - 1
+	}
+	if i < 1 {
+		i = 1 // nonzero values are always visible
+	}
+	return i
+}
+
+// NumericMap renders per-processor values as aligned decimal cells, for
+// exact reading of small grids.
+func NumericMap(g grid.Grid, values []int64, title string) string {
+	if len(values) != g.NumProcs() {
+		panic(fmt.Sprintf("render: %d values for a %v array", len(values), g))
+	}
+	width := 1
+	for _, v := range values {
+		if n := len(fmt.Sprint(v)); n > width {
+			width = n
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for y := 0; y < g.Height(); y++ {
+		b.WriteString("  ")
+		for x := 0; x < g.Width(); x++ {
+			fmt.Fprintf(&b, "%*d ", width, values[g.Index(grid.Coord{X: x, Y: y})])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ReferenceDensity returns each processor's total reference volume in
+// window w of the trace.
+func ReferenceDensity(t *trace.Trace, w int) []int64 {
+	out := make([]int64, t.Grid.NumProcs())
+	for _, r := range t.Windows[w].Refs {
+		out[r.Proc] += int64(r.Volume)
+	}
+	return out
+}
+
+// Occupancy returns the number of items each processor stores in
+// window w of the schedule.
+func Occupancy(g grid.Grid, s cost.Schedule, w int) []int64 {
+	out := make([]int64, g.NumProcs())
+	for _, c := range s.Centers[w] {
+		out[c]++
+	}
+	return out
+}
+
+// ItemReferences returns, for one data item, each processor's reference
+// volume in window w — the paper's Figure 1 panels.
+func ItemReferences(t *trace.Trace, w int, d trace.DataID) []int64 {
+	out := make([]int64, t.Grid.NumProcs())
+	for _, r := range t.Windows[w].Refs {
+		if r.Data == d {
+			out[r.Proc] += int64(r.Volume)
+		}
+	}
+	return out
+}
+
+// CenterMark renders the array with an 'X' on the given processor and
+// '.' elsewhere, marking a chosen center.
+func CenterMark(g grid.Grid, center int, title string) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for y := 0; y < g.Height(); y++ {
+		b.WriteString("  ")
+		for x := 0; x < g.Width(); x++ {
+			if g.Index(grid.Coord{X: x, Y: y}) == center {
+				b.WriteString("X ")
+			} else {
+				b.WriteString(". ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

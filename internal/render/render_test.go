@@ -1,0 +1,106 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+func TestHeatmapShape(t *testing.T) {
+	g := grid.New(3, 2)
+	out := Heatmap(g, []int64{0, 1, 9, 0, 5, 9}, "demo")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // title + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "max 9") {
+		t.Errorf("title = %q", lines[0])
+	}
+	// Zero renders blank, max renders '@'.
+	if lines[1][2] != ' ' {
+		t.Errorf("zero cell = %q", lines[1][2])
+	}
+	if lines[1][6] != '@' {
+		t.Errorf("max cell = %q", lines[1][6])
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	g := grid.Square(2)
+	out := Heatmap(g, make([]int64, 4), "")
+	if strings.ContainsAny(out, "@#%") {
+		t.Errorf("all-zero heatmap shows intensity: %q", out)
+	}
+}
+
+func TestHeatmapNonzeroVisible(t *testing.T) {
+	g := grid.Square(2)
+	out := Heatmap(g, []int64{1, 0, 0, 1000}, "")
+	// The tiny value 1 must still be visible (not a blank).
+	row0 := strings.Split(out, "\n")[0]
+	if row0[2] == ' ' {
+		t.Errorf("small nonzero value invisible: %q", row0)
+	}
+}
+
+func TestHeatmapPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad length did not panic")
+		}
+	}()
+	Heatmap(grid.Square(2), []int64{1}, "")
+}
+
+func TestNumericMapAligned(t *testing.T) {
+	g := grid.New(2, 2)
+	out := NumericMap(g, []int64{1, 100, 7, 0}, "vals")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "  1 100") {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+}
+
+func TestReferenceDensityAndItemReferences(t *testing.T) {
+	g := grid.Square(2)
+	tr := trace.New(g, 2)
+	w := tr.AddWindow()
+	w.AddVolume(0, 0, 3)
+	w.Add(3, 0)
+	w.Add(3, 1)
+	dens := ReferenceDensity(tr, 0)
+	if dens[0] != 3 || dens[3] != 2 || dens[1] != 0 {
+		t.Errorf("density = %v", dens)
+	}
+	item := ItemReferences(tr, 0, 0)
+	if item[0] != 3 || item[3] != 1 {
+		t.Errorf("item refs = %v", item)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	g := grid.Square(2)
+	s := cost.Uniform([]int{0, 0, 3}, 1)
+	occ := Occupancy(g, s, 0)
+	if occ[0] != 2 || occ[3] != 1 || occ[1] != 0 {
+		t.Errorf("occupancy = %v", occ)
+	}
+}
+
+func TestCenterMark(t *testing.T) {
+	g := grid.Square(2)
+	out := CenterMark(g, 3, "center")
+	if !strings.Contains(out, "X") {
+		t.Fatalf("no mark: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[2] != "  . X " {
+		t.Errorf("bottom row = %q", lines[2])
+	}
+}

@@ -1,0 +1,113 @@
+// Package report renders the experiment results as aligned text tables
+// in the layout of the paper's Tables 1 and 2.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Improvement returns the percentage improvement of value over base:
+// (base - value) / base * 100. A zero base yields 0.
+func Improvement(base, value int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(base-value) / float64(base) * 100
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row. Rows shorter than the header are padded with
+// empty cells; longer rows panic, since that indicates a harness bug.
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.Header) {
+		panic(fmt.Sprintf("report: row has %d cells, header has %d", len(cells), len(t.Header)))
+	}
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends a row of formatted values: strings pass through,
+// integers print as decimals, float64 as "%.1f".
+func (t *Table) AddF(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = fmt.Sprintf("%.1f", x)
+		default:
+			cells[i] = fmt.Sprint(x)
+		}
+	}
+	t.Add(cells...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string, for tests and logs.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestImprovement(t *testing.T) {
+	cases := []struct {
+		base, value int64
+		want        float64
+	}{
+		{100, 70, 30},
+		{100, 100, 0},
+		{100, 130, -30},
+		{0, 50, 0},
+		{200, 50, 75},
+	}
+	for _, c := range cases {
+		if got := Improvement(c.base, c.value); got != c.want {
+			t.Errorf("Improvement(%d,%d) = %v, want %v", c.base, c.value, got, c.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.Add("alpha", "1")
+	tbl.Add("b", "22")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name ") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns aligned: "alpha" (5 chars) and "b" padded to 5.
+	if !strings.HasPrefix(lines[3], "alpha  1") {
+		t.Errorf("row 1 = %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "b      22") {
+		t.Errorf("row 2 = %q", lines[4])
+	}
+}
+
+func TestTableAddShortRow(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.Add("x")
+	if tbl.NumRows() != 1 {
+		t.Fatal("row not added")
+	}
+	if out := tbl.String(); !strings.Contains(out, "x") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestTableAddLongRowPanics(t *testing.T) {
+	tbl := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("long row did not panic")
+		}
+	}()
+	tbl.Add("1", "2")
+}
+
+func TestAddF(t *testing.T) {
+	tbl := NewTable("", "s", "i", "f")
+	tbl.AddF("x", 42, 3.14159)
+	out := tbl.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "3.1") {
+		t.Errorf("AddF output %q", out)
+	}
+	if strings.Contains(out, "3.14159") {
+		t.Errorf("float not rounded: %q", out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.Add("1")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Error("empty title emitted a blank line")
+	}
+}

@@ -1,0 +1,133 @@
+// Package segment derives execution windows from flat reference
+// streams. The paper assumes the window structure is given by the
+// compiler; when all that exists is a raw stream of reference events
+// (from instrumentation or a trace file without barriers), this package
+// reconstructs scheduling-friendly windows, either by fixed-size
+// chunking or by phase detection: consecutive chunks whose reference
+// histograms stay similar belong to the same program phase and merge
+// into one window, while a drop in similarity — the application's
+// working set shifting — starts a new one.
+package segment
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// FixedSize splits the stream into windows of perWindow consecutive
+// events (the last window may be smaller). perWindow must be positive.
+func FixedSize(g grid.Grid, numData int, refs []trace.Ref, perWindow int) *trace.Trace {
+	if perWindow <= 0 {
+		panic(fmt.Sprintf("segment: non-positive window size %d", perWindow))
+	}
+	t := trace.New(g, numData)
+	for start := 0; start < len(refs); start += perWindow {
+		end := start + perWindow
+		if end > len(refs) {
+			end = len(refs)
+		}
+		w := t.AddWindow()
+		w.Refs = append(w.Refs, refs[start:end]...)
+	}
+	return t
+}
+
+// Options tunes phase detection.
+type Options struct {
+	// ChunkSize is the granularity at which the stream is examined;
+	// 0 means max(64, len(refs)/64).
+	ChunkSize int
+	// Threshold in [0, 1] is the minimum histogram overlap for two
+	// consecutive chunks to be considered the same phase; 0 means 0.5.
+	Threshold float64
+}
+
+// PhaseDetect splits the stream at working-set shifts: the stream is
+// cut into fixed chunks, each chunk's data-reference histogram is
+// compared with the current window's, and a new window starts when the
+// overlap falls below the threshold. The returned trace contains every
+// input event, in order.
+func PhaseDetect(g grid.Grid, numData int, refs []trace.Ref, opts Options) *trace.Trace {
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = len(refs) / 64
+		if chunk < 64 {
+			chunk = 64
+		}
+	}
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+
+	t := trace.New(g, numData)
+	if len(refs) == 0 {
+		return t
+	}
+
+	cur := t.AddWindow()
+	curHist := make(map[trace.DataID]int64)
+	var curVol int64
+
+	for start := 0; start < len(refs); start += chunk {
+		end := start + chunk
+		if end > len(refs) {
+			end = len(refs)
+		}
+		hist := make(map[trace.DataID]int64)
+		var vol int64
+		for _, r := range refs[start:end] {
+			hist[r.Data] += int64(r.Volume)
+			vol += int64(r.Volume)
+		}
+		if curVol > 0 && overlap(curHist, curVol, hist, vol) < threshold {
+			// Working set shifted: close the window and start fresh.
+			cur = t.AddWindow()
+			curHist = make(map[trace.DataID]int64)
+			curVol = 0
+		}
+		cur.Refs = append(cur.Refs, refs[start:end]...)
+		for d, v := range hist {
+			curHist[d] += v
+		}
+		curVol += vol
+	}
+	return t
+}
+
+// overlap is the histogram intersection ratio: the volume both sides
+// agree on (after scaling the larger stream down to the smaller one's
+// total) divided by the smaller total. 1 means identical working-set
+// shape; 0 means disjoint.
+func overlap(a map[trace.DataID]int64, aVol int64, b map[trace.DataID]int64, bVol int64) float64 {
+	if aVol == 0 || bVol == 0 {
+		return 0
+	}
+	// Compare normalized shapes so a long-running window does not
+	// swamp a new chunk: intersection of fractional histograms.
+	var inter float64
+	for d, av := range a {
+		if bv, ok := b[d]; ok {
+			fa := float64(av) / float64(aVol)
+			fb := float64(bv) / float64(bVol)
+			if fa < fb {
+				inter += fa
+			} else {
+				inter += fb
+			}
+		}
+	}
+	return inter
+}
+
+// Flatten concatenates a windowed trace back into a flat event stream,
+// the inverse of segmentation (window boundaries are discarded).
+func Flatten(t *trace.Trace) []trace.Ref {
+	var out []trace.Ref
+	for i := range t.Windows {
+		out = append(out, t.Windows[i].Refs...)
+	}
+	return out
+}

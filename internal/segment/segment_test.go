@@ -1,0 +1,190 @@
+package segment
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// stream builds a flat two-phase reference stream: phase 1 touches
+// items [0, n), phase 2 touches items [n, 2n).
+func twoPhaseStream(n, perPhase int) []trace.Ref {
+	var refs []trace.Ref
+	for i := 0; i < perPhase; i++ {
+		refs = append(refs, trace.Ref{Proc: i % 4, Data: trace.DataID(i % n), Volume: 1})
+	}
+	for i := 0; i < perPhase; i++ {
+		refs = append(refs, trace.Ref{Proc: i % 4, Data: trace.DataID(n + i%n), Volume: 1})
+	}
+	return refs
+}
+
+func TestFixedSize(t *testing.T) {
+	g := grid.Square(2)
+	refs := twoPhaseStream(4, 100)
+	tr := FixedSize(g, 8, refs, 64)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 4 { // 200 refs / 64 = 3 full + 1 partial
+		t.Fatalf("windows = %d", tr.NumWindows())
+	}
+	if tr.NumRefs() != len(refs) {
+		t.Fatalf("refs lost: %d vs %d", tr.NumRefs(), len(refs))
+	}
+	if !reflect.DeepEqual(Flatten(tr), refs) {
+		t.Fatal("order not preserved")
+	}
+}
+
+func TestFixedSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero window size did not panic")
+		}
+	}()
+	FixedSize(grid.Square(2), 1, nil, 0)
+}
+
+func TestPhaseDetectFindsTheShift(t *testing.T) {
+	g := grid.Square(2)
+	refs := twoPhaseStream(8, 512)
+	tr := PhaseDetect(g, 16, refs, Options{ChunkSize: 64})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 2 {
+		t.Fatalf("windows = %d, want 2 (one per phase)", tr.NumWindows())
+	}
+	// The boundary must be exactly at the phase shift (a multiple of
+	// the chunk size aligned with the phase length).
+	if got := len(tr.Windows[0].Refs); got != 512 {
+		t.Fatalf("first window has %d refs, want 512", got)
+	}
+	if !reflect.DeepEqual(Flatten(tr), refs) {
+		t.Fatal("stream mangled")
+	}
+}
+
+func TestPhaseDetectUniformStreamOneWindow(t *testing.T) {
+	g := grid.Square(2)
+	rng := rand.New(rand.NewSource(1))
+	var refs []trace.Ref
+	for i := 0; i < 2048; i++ {
+		refs = append(refs, trace.Ref{Proc: rng.Intn(4), Data: trace.DataID(rng.Intn(8)), Volume: 1})
+	}
+	tr := PhaseDetect(g, 8, refs, Options{ChunkSize: 256})
+	if tr.NumWindows() != 1 {
+		t.Fatalf("uniform stream split into %d windows", tr.NumWindows())
+	}
+}
+
+func TestPhaseDetectThresholdExtremes(t *testing.T) {
+	g := grid.Square(2)
+	// Fully disjoint phases split under any positive threshold (the
+	// boundary overlap is exactly zero).
+	refs := twoPhaseStream(8, 512)
+	loose := PhaseDetect(g, 16, refs, Options{ChunkSize: 64, Threshold: 1e-9})
+	if loose.NumWindows() != 2 {
+		t.Errorf("disjoint phases under loose threshold: %d windows, want 2", loose.NumWindows())
+	}
+
+	// A drifting stream whose consecutive chunks always share half
+	// their working set: a loose threshold keeps it whole, a tight one
+	// fragments it.
+	var drift []trace.Ref
+	for i := 0; i < 2048; i++ {
+		base := (i / 256) * 4 // shift the 8-item working set by half per chunk
+		drift = append(drift, trace.Ref{Proc: i % 4, Data: trace.DataID((base + i%8) % 64), Volume: 1})
+	}
+	looseDrift := PhaseDetect(g, 64, drift, Options{ChunkSize: 256, Threshold: 0.25})
+	tightDrift := PhaseDetect(g, 64, drift, Options{ChunkSize: 256, Threshold: 0.999})
+	if looseDrift.NumWindows() >= tightDrift.NumWindows() {
+		t.Errorf("loose threshold (%d windows) should merge more than tight (%d windows)",
+			looseDrift.NumWindows(), tightDrift.NumWindows())
+	}
+}
+
+func TestPhaseDetectEmptyStream(t *testing.T) {
+	tr := PhaseDetect(grid.Square(2), 4, nil, Options{})
+	if tr.NumWindows() != 0 || tr.NumRefs() != 0 {
+		t.Fatalf("empty stream: %d windows %d refs", tr.NumWindows(), tr.NumRefs())
+	}
+}
+
+// End-to-end: flattening a real benchmark and re-segmenting it by phase
+// detection yields a trace whose GOMCDS schedule still clearly beats a
+// single merged window (i.e. the detected structure is useful).
+func TestSegmentationPreservesSchedulingValue(t *testing.T) {
+	g := grid.Square(4)
+	orig := workload.Code{Seed: 4}.Generate(8, g)
+	refs := Flatten(orig)
+
+	detected := PhaseDetect(g, orig.NumData, refs, Options{ChunkSize: len(refs) / 16})
+	if detected.NumWindows() < 2 {
+		t.Fatalf("phase detection found %d windows on a drifting workload", detected.NumWindows())
+	}
+	merged := FixedSize(g, orig.NumData, refs, len(refs)) // one giant window
+
+	pd := sched.NewProblem(detected, 0)
+	pm := sched.NewProblem(merged, 0)
+	sd, err := sched.GOMCDS{}.Schedule(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sched.GOMCDS{}.Schedule(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Model.TotalCost(sd) >= pm.Model.TotalCost(sm) {
+		t.Errorf("detected windows (%d) gave cost %d, merged window gave %d — segmentation bought nothing",
+			detected.NumWindows(), pd.Model.TotalCost(sd), pm.Model.TotalCost(sm))
+	}
+}
+
+// Property: segmentation never loses or reorders events.
+func TestSegmentationIsLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 30; iter++ {
+		g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+		nd := 1 + rng.Intn(8)
+		var refs []trace.Ref
+		for i := 0; i < rng.Intn(500); i++ {
+			refs = append(refs, trace.Ref{
+				Proc: rng.Intn(g.NumProcs()), Data: trace.DataID(rng.Intn(nd)), Volume: 1 + rng.Intn(3),
+			})
+		}
+		for _, tr := range []*trace.Trace{
+			FixedSize(g, nd, refs, 1+rng.Intn(64)),
+			PhaseDetect(g, nd, refs, Options{ChunkSize: 1 + rng.Intn(64), Threshold: rng.Float64()}),
+		} {
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			got := Flatten(tr)
+			if len(got) != len(refs) {
+				t.Fatalf("iter %d: %d of %d refs survive", iter, len(got), len(refs))
+			}
+			for i := range got {
+				if got[i] != refs[i] {
+					t.Fatalf("iter %d: event %d reordered", iter, i)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPhaseDetect(b *testing.B) {
+	g := grid.Square(4)
+	refs := Flatten(workload.Code{Seed: 5}.Generate(16, g))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PhaseDetect(g, 256, refs, Options{})
+	}
+}

@@ -1,0 +1,285 @@
+// Package sim is a discrete-event, packet-level simulator of the PIM
+// array's 2-D mesh interconnect. It executes a data schedule against a
+// trace: every execution window runs a data-movement phase (items whose
+// centers changed travel between processors) followed by a serve phase
+// (every remote reference pulls its data from the window's center),
+// with x-y routed, store-and-forward messages contending for links.
+//
+// The simulator exists to validate the paper's analytic cost model and
+// to express schedule quality in execution time: with contention
+// disabled, the total flit-hops it reports equal the analytic total
+// communication cost exactly (a property the tests enforce), while the
+// makespan in cycles additionally exposes link serialization that the
+// analytic model abstracts away.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// Routing selects the dimension-ordered routing discipline.
+type Routing int
+
+const (
+	// RouteXY routes along x first, then y (the paper's assumption).
+	RouteXY Routing = iota
+	// RouteYX routes along y first, then x.
+	RouteYX
+	// RouteBalanced alternates XY and YX per message (the O1TURN
+	// discipline), spreading load over both dimension orders.
+	RouteBalanced
+)
+
+// String returns the routing name.
+func (r Routing) String() string {
+	switch r {
+	case RouteXY:
+		return "xy"
+	case RouteYX:
+		return "yx"
+	case RouteBalanced:
+		return "balanced"
+	}
+	return fmt.Sprintf("Routing(%d)", int(r))
+}
+
+// RoutingByName resolves "xy", "yx" or "balanced".
+func RoutingByName(name string) (Routing, error) {
+	switch name {
+	case "xy":
+		return RouteXY, nil
+	case "yx":
+		return RouteYX, nil
+	case "balanced":
+		return RouteBalanced, nil
+	}
+	return 0, fmt.Errorf("sim: unknown routing %q (want xy, yx or balanced)", name)
+}
+
+// Options configures the interconnect.
+type Options struct {
+	// LinkBandwidth is the number of flits a link forwards per cycle.
+	// 0 or less means 1 (the unit assumption of the paper's model).
+	LinkBandwidth int
+	// NoContention disables link arbitration: messages never wait for
+	// one another. Per-hop serialization of a message's own flits still
+	// applies.
+	NoContention bool
+	// Routing selects the dimension order; the default is RouteXY. All
+	// disciplines are minimal, so FlitHops is routing-invariant.
+	Routing Routing
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Cycles is the makespan: the cycle at which the last message of
+	// the last window's serve phase arrives.
+	Cycles int64
+	// FlitHops is the total volume-weighted hop count of all messages;
+	// it equals the analytic total communication cost of the schedule.
+	FlitHops int64
+	// Messages is the number of point-to-point messages simulated.
+	Messages int
+	// MoveCycles and ServeCycles split the makespan into the two phase
+	// kinds, summed over windows.
+	MoveCycles, ServeCycles int64
+	// MaxLinkFlits is the largest number of flits carried by any single
+	// link, a congestion indicator.
+	MaxLinkFlits int64
+}
+
+// message is one point-to-point transfer.
+type message struct {
+	id   int
+	src  int
+	dst  int
+	size int64
+}
+
+// event is a message arriving at the head of its next link.
+type event struct {
+	time int64
+	msg  int // index into the phase's message list
+	hop  int // next link index on the route
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].msg != q[j].msg {
+		return q[i].msg < q[j].msg
+	}
+	return q[i].hop < q[j].hop
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Simulator holds the immutable topology for repeated runs.
+type Simulator struct {
+	g      grid.Grid
+	opts   Options
+	routes map[[3]int][]int // cached routes keyed by (src, dst, orderYX)
+
+	// linkFree[l] is the cycle at which link l becomes idle;
+	// linkFlits[l] counts flits carried. Links are directed mesh edges
+	// indexed by from*numProcs+to (sparse map avoided for speed).
+	linkFree  []int64
+	linkFlits []int64
+}
+
+// New returns a simulator for the given array.
+func New(g grid.Grid, opts Options) *Simulator {
+	if opts.LinkBandwidth <= 0 {
+		opts.LinkBandwidth = 1
+	}
+	np := g.NumProcs()
+	return &Simulator{
+		g:         g,
+		opts:      opts,
+		routes:    make(map[[3]int][]int),
+		linkFree:  make([]int64, np*np),
+		linkFlits: make([]int64, np*np),
+	}
+}
+
+// route returns the message's path under the configured discipline.
+// msgID selects the dimension order for RouteBalanced.
+func (s *Simulator) route(src, dst, msgID int) []int {
+	yx := 0
+	switch s.opts.Routing {
+	case RouteYX:
+		yx = 1
+	case RouteBalanced:
+		yx = msgID & 1
+	}
+	key := [3]int{src, dst, yx}
+	if r, ok := s.routes[key]; ok {
+		return r
+	}
+	var r []int
+	if yx == 1 {
+		r = s.g.RouteYX(src, dst)
+	} else {
+		r = s.g.Route(src, dst)
+	}
+	s.routes[key] = r
+	return r
+}
+
+// Run lowers the schedule into a communication plan and executes it.
+// The schedule must cover the trace; Run returns an error otherwise.
+func (s *Simulator) Run(t *trace.Trace, sc cost.Schedule) (Result, error) {
+	if t.Grid != s.g {
+		return Result{}, fmt.Errorf("sim: trace array %v does not match simulator array %v", t.Grid, s.g)
+	}
+	p, err := plan.Build(t, sc)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %v", err)
+	}
+	return s.RunPlan(p)
+}
+
+// RunPlan executes a lowered communication plan: each phase's movement
+// messages inject together, drain, and then the phase's serve messages
+// inject — the windows are barriers, matching the execution-window
+// semantics of the schedule the plan came from.
+func (s *Simulator) RunPlan(p *plan.Plan) (Result, error) {
+	if p.Grid != s.g {
+		return Result{}, fmt.Errorf("sim: plan array %v does not match simulator array %v", p.Grid, s.g)
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %v", err)
+	}
+	for i := range s.linkFree {
+		s.linkFree[i] = 0
+		s.linkFlits[i] = 0
+	}
+
+	var res Result
+	now := int64(0)
+	for w := range p.Phases {
+		if msgs := convert(p.Phases[w].Moves); len(msgs) > 0 {
+			end := s.runPhase(msgs, now, &res)
+			res.MoveCycles += end - now
+			now = end
+		}
+		end := s.runPhase(convert(p.Phases[w].Serves), now, &res)
+		res.ServeCycles += end - now
+		now = end
+	}
+	res.Cycles = now
+	for _, f := range s.linkFlits {
+		if f > res.MaxLinkFlits {
+			res.MaxLinkFlits = f
+		}
+	}
+	return res, nil
+}
+
+func convert(msgs []plan.Message) []message {
+	out := make([]message, len(msgs))
+	for i, m := range msgs {
+		out[i] = message{id: i, src: m.Src, dst: m.Dst, size: m.Volume}
+	}
+	return out
+}
+
+// runPhase injects all messages at time start and advances the
+// discrete-event loop until the phase drains, returning the phase's
+// completion time.
+func (s *Simulator) runPhase(msgs []message, start int64, res *Result) int64 {
+	res.Messages += len(msgs)
+	q := make(eventQueue, 0, len(msgs))
+	for i := range msgs {
+		q = append(q, event{time: start, msg: i, hop: 0})
+	}
+	heap.Init(&q)
+	end := start
+	np := s.g.NumProcs()
+	bw := int64(s.opts.LinkBandwidth)
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		m := &msgs[e.msg]
+		route := s.route(m.src, m.dst, m.id)
+		if e.hop >= len(route)-1 {
+			// Arrived at the destination.
+			if e.time > end {
+				end = e.time
+			}
+			continue
+		}
+		from, to := route[e.hop], route[e.hop+1]
+		link := from*np + to
+		crossing := (m.size + bw - 1) / bw
+		var begin int64
+		if s.opts.NoContention {
+			begin = e.time
+		} else {
+			begin = e.time
+			if s.linkFree[link] > begin {
+				begin = s.linkFree[link]
+			}
+			s.linkFree[link] = begin + crossing
+		}
+		s.linkFlits[link] += m.size
+		res.FlitHops += m.size
+		heap.Push(&q, event{time: begin + crossing, msg: e.msg, hop: e.hop + 1})
+	}
+	return end
+}
+
+// Simulate is a convenience wrapper: build a simulator and run once.
+func Simulate(t *trace.Trace, sc cost.Schedule, opts Options) (Result, error) {
+	return New(t.Grid, opts).Run(t, sc)
+}

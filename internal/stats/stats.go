@@ -1,0 +1,200 @@
+// Package stats computes descriptive statistics of traces and
+// schedules: per-window cost series, movement profiles, locality, and
+// memory-occupancy balance. The CLI tools use it to explain *why* one
+// schedule beats another, beyond the single total-cost number of the
+// paper's tables.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// ScheduleStats summarizes one schedule against its problem.
+type ScheduleStats struct {
+	// PerWindowResidence[w] is window w's reference-serving cost.
+	PerWindowResidence []int64
+	// PerWindowMove[w] is the movement cost paid entering window w
+	// (index 0 is always zero).
+	PerWindowMove []int64
+	// Moves counts item relocations across all window boundaries.
+	Moves int
+	// MoveDistance is the total distance moved (unweighted by size).
+	MoveDistance int64
+	// LocalVolume is the reference volume served at distance zero;
+	// TotalVolume is all reference volume. Locality() derives the rate.
+	LocalVolume, TotalVolume int64
+	// AvgRefDistance is the volume-weighted mean serving distance.
+	AvgRefDistance float64
+	// MaxOccupancy is the largest number of items any processor holds
+	// in any window; OccupancyCV is the coefficient of variation of the
+	// per-processor occupancy averaged over windows (0 = perfectly
+	// balanced memory load).
+	MaxOccupancy int
+	OccupancyCV  float64
+}
+
+// Locality returns the fraction of reference volume served locally.
+func (s ScheduleStats) Locality() float64 {
+	if s.TotalVolume == 0 {
+		return 0
+	}
+	return float64(s.LocalVolume) / float64(s.TotalVolume)
+}
+
+// Compute derives the statistics of a schedule.
+func Compute(p *sched.Problem, s cost.Schedule) ScheduleStats {
+	nw, nd, np := p.Model.NumWindows(), p.Model.NumData, p.Model.Grid.NumProcs()
+	out := ScheduleStats{
+		PerWindowResidence: make([]int64, nw),
+		PerWindowMove:      make([]int64, nw),
+	}
+	counts := p.Model.Counts()
+	var weightedDist int64
+	var cvSum float64
+	for w := 0; w < nw; w++ {
+		occupancy := make([]int64, np)
+		for d := 0; d < nd; d++ {
+			c := s.Centers[w][d]
+			occupancy[c]++
+			out.PerWindowResidence[w] += p.Table[w][d][c]
+			for proc, v := range counts[w][d] {
+				if v == 0 {
+					continue
+				}
+				out.TotalVolume += int64(v)
+				dist := p.Model.Dist(proc, c)
+				if dist == 0 {
+					out.LocalVolume += int64(v)
+				}
+				weightedDist += int64(v) * int64(dist)
+			}
+			if w > 0 {
+				prev := s.Centers[w-1][d]
+				if prev != c {
+					out.Moves++
+					out.MoveDistance += int64(p.Model.Dist(prev, c))
+				}
+			}
+		}
+		for _, o := range occupancy {
+			if int(o) > out.MaxOccupancy {
+				out.MaxOccupancy = int(o)
+			}
+		}
+		cvSum += coefficientOfVariation(occupancy)
+	}
+	// Movement cost series (size-weighted), computed cleanly.
+	for w := 1; w < nw; w++ {
+		var move int64
+		for d := 0; d < nd; d++ {
+			move += int64(p.Model.DataSize[d]) * int64(p.Model.Dist(s.Centers[w-1][d], s.Centers[w][d]))
+		}
+		out.PerWindowMove[w] = move
+	}
+	if out.TotalVolume > 0 {
+		out.AvgRefDistance = float64(weightedDist) / float64(out.TotalVolume)
+	}
+	if nw > 0 {
+		out.OccupancyCV = cvSum / float64(nw)
+	}
+	return out
+}
+
+func coefficientOfVariation(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// TraceStats summarizes a trace's reference behaviour, independent of
+// any schedule.
+type TraceStats struct {
+	Windows, Items, Refs int
+	TotalVolume          int64
+	// SharingDegree is the mean number of distinct processors
+	// referencing an item within a window (over referenced items) — the
+	// broadcast pressure replication exploits.
+	SharingDegree float64
+	// ReuseDistance is the mean number of windows between consecutive
+	// windows referencing the same item.
+	ReuseDistance float64
+	// HotItems lists the IDs of the most-referenced items, descending.
+	HotItems []trace.DataID
+}
+
+// ComputeTrace derives trace statistics.
+func ComputeTrace(t *trace.Trace) TraceStats {
+	counts := t.BuildCounts()
+	out := TraceStats{Windows: t.NumWindows(), Items: t.NumData, Refs: t.NumRefs()}
+	sharingSamples := 0
+	var sharingSum int64
+	lastSeen := make([]int, t.NumData)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	var reuseSum int64
+	reuseSamples := 0
+	itemVolume := make([]int64, t.NumData)
+	for w := range counts {
+		for d := 0; d < t.NumData; d++ {
+			readers := 0
+			for _, v := range counts[w][d] {
+				if v != 0 {
+					readers++
+					out.TotalVolume += int64(v)
+					itemVolume[d] += int64(v)
+				}
+			}
+			if readers > 0 {
+				sharingSum += int64(readers)
+				sharingSamples++
+				if lastSeen[d] >= 0 {
+					reuseSum += int64(w - lastSeen[d])
+					reuseSamples++
+				}
+				lastSeen[d] = w
+			}
+		}
+	}
+	if sharingSamples > 0 {
+		out.SharingDegree = float64(sharingSum) / float64(sharingSamples)
+	}
+	if reuseSamples > 0 {
+		out.ReuseDistance = float64(reuseSum) / float64(reuseSamples)
+	}
+	ids := make([]trace.DataID, t.NumData)
+	for i := range ids {
+		ids[i] = trace.DataID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if itemVolume[ids[a]] != itemVolume[ids[b]] {
+			return itemVolume[ids[a]] > itemVolume[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	n := 10
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out.HotItems = ids[:n]
+	return out
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != tr.Grid || got.NumData != tr.NumData {
+		t.Fatalf("header mismatch: %v/%d", got.Grid, got.NumData)
+	}
+	if !reflect.DeepEqual(got.Windows, tr.Windows) {
+		t.Fatalf("windows mismatch:\ngot  %v\nwant %v", got.Windows, tr.Windows)
+	}
+}
+
+func TestEncodeDecodeRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 25; i++ {
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got.Grid != tr.Grid || got.NumData != tr.NumData || got.NumWindows() != tr.NumWindows() {
+			t.Fatalf("iter %d: shape mismatch", i)
+		}
+		for w := range tr.Windows {
+			a, b := tr.Windows[w].Refs, got.Windows[w].Refs
+			if len(a) != len(b) {
+				t.Fatalf("iter %d window %d: %d vs %d refs", i, w, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("iter %d window %d ref %d: %v vs %v", i, w, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeEmptyTrace(t *testing.T) {
+	in := "pimtrace v1\ngrid 2 2\ndata 5\n"
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 0 || tr.NumData != 5 {
+		t.Fatalf("got %d windows, %d data", tr.NumWindows(), tr.NumData)
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlanks(t *testing.T) {
+	in := `pimtrace v1
+# a comment
+grid 2 2
+
+data 2
+window
+# inside a window
+ref 0 1 1
+`
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRefs() != 1 {
+		t.Fatalf("NumRefs = %d", tr.NumRefs())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "something else\n"},
+		{"missing grid", "pimtrace v1\ndata 3\nwindow\n"},
+		{"missing data", "pimtrace v1\ngrid 2 2\nwindow\n"},
+		{"duplicate grid", "pimtrace v1\ngrid 2 2\ngrid 2 2\ndata 1\n"},
+		{"duplicate data", "pimtrace v1\ngrid 2 2\ndata 1\ndata 1\n"},
+		{"bad grid argc", "pimtrace v1\ngrid 2\ndata 1\n"},
+		{"bad grid value", "pimtrace v1\ngrid x 2\ndata 1\n"},
+		{"zero grid", "pimtrace v1\ngrid 0 2\ndata 1\n"},
+		{"bad data value", "pimtrace v1\ngrid 2 2\ndata -3\n"},
+		{"ref outside window", "pimtrace v1\ngrid 2 2\ndata 1\nref 0 0 1\n"},
+		{"ref argc", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0\n"},
+		{"ref non-numeric", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref a 0 1\n"},
+		{"unknown directive", "pimtrace v1\ngrid 2 2\ndata 1\nbogus\n"},
+		{"invalid ref proc", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 9 0 1\n"},
+		{"invalid ref data", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 5 1\n"},
+		{"invalid ref volume", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", c.name)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTrace(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTrace(rng)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary input never panics the decoder and
+// that anything it accepts survives an encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"pimtrace v1\ngrid 2 2\ndata 3\nwindow\nref 0 1 1\n",
+		"pimtrace v1\ngrid 4 4\ndata 0\n",
+		"pimtrace v1\ngrid 1 1\ndata 1\nwindow\nwindow\nref 0 0 9\n",
+		"pimtrace v1\n# comment\ngrid 2 3\ndata 5\nwindow\nref 5 4 2\n",
+		"garbage",
+		"pimtrace v1\ngrid -1 2\ndata 1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("Encode of decoded trace failed: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v", err)
+		}
+		if again.Grid != tr.Grid || again.NumData != tr.NumData || again.NumWindows() != tr.NumWindows() || again.NumRefs() != tr.NumRefs() {
+			t.Fatalf("round trip changed shape: %v/%d/%d/%d vs %v/%d/%d/%d",
+				again.Grid, again.NumData, again.NumWindows(), again.NumRefs(),
+				tr.Grid, tr.NumData, tr.NumWindows(), tr.NumRefs())
+		}
+	})
+}
+
+// FuzzMatrixElement checks the Matrix ID/Element bijection under
+// arbitrary shapes.
+func FuzzMatrixElement(f *testing.F) {
+	f.Add(3, 4, 5)
+	f.Add(1, 1, 0)
+	f.Fuzz(func(t *testing.T, rows, cols, raw int) {
+		if rows <= 0 || cols <= 0 || rows > 1<<12 || cols > 1<<12 {
+			return
+		}
+		m := Matrix{Rows: rows, Cols: cols}
+		n := m.NumElements()
+		if n <= 0 {
+			return
+		}
+		d := DataID(((raw % n) + n) % n)
+		i, j := m.Element(d)
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			t.Fatalf("Element(%d) = (%d,%d) outside %v", d, i, j, m)
+		}
+		if m.ID(i, j) != d {
+			t.Fatalf("ID(Element(%d)) = %d", d, m.ID(i, j))
+		}
+	})
+}
+
+// FuzzDecodeLongLines guards the scanner's buffer handling.
+func FuzzDecodeLongLines(f *testing.F) {
+	f.Add(10)
+	f.Fuzz(func(t *testing.T, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		in := "pimtrace v1\n# " + strings.Repeat("x", n) + "\ngrid 2 2\ndata 1\n"
+		if _, err := Decode(strings.NewReader(in)); err != nil {
+			t.Fatalf("long comment rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package trace
+
+import "fmt"
+
+// Matrix describes a two-dimensional logical data array whose elements
+// are the data items of a trace. All the paper's benchmarks operate on
+// square matrices; the data item for element (i, j) has the row-major
+// ID i*Cols + j.
+type Matrix struct {
+	Rows, Cols int
+}
+
+// SquareMatrix returns an n x n data array.
+func SquareMatrix(n int) Matrix { return Matrix{Rows: n, Cols: n} }
+
+// NumElements returns the number of data items in the array.
+func (m Matrix) NumElements() int { return m.Rows * m.Cols }
+
+// String renders the shape as "RxC".
+func (m Matrix) String() string { return fmt.Sprintf("%dx%d", m.Rows, m.Cols) }
+
+// ID returns the data ID of element (i, j). It panics when the element
+// is out of range, since workload generators index with loop bounds
+// derived from the same Matrix and an escape indicates a generator bug.
+func (m Matrix) ID(i, j int) DataID {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("trace: matrix element (%d,%d) outside %v", i, j, m))
+	}
+	return DataID(i*m.Cols + j)
+}
+
+// Element returns the (row, column) of a data ID.
+func (m Matrix) Element(d DataID) (i, j int) {
+	if d < 0 || int(d) >= m.NumElements() {
+		panic(fmt.Sprintf("trace: data %d outside %v", d, m))
+	}
+	return int(d) / m.Cols, int(d) % m.Cols
+}

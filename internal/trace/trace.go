@@ -1,0 +1,276 @@
+// Package trace models the input of the data-scheduling problem: the
+// data reference strings of an application, already split into
+// execution windows.
+//
+// Terminology follows the paper:
+//
+//   - The *data reference string* of a processor in one execution
+//     window is the sequence of data items the processor refers to in
+//     that window.
+//   - The *processor reference string* with respect to a data item in
+//     one execution window is the sequence of processors requiring that
+//     item in that window.
+//
+// Both views are projections of the same event list, so a Trace stores
+// ordered reference events per window and derives either string (or the
+// per-window reference-count matrix consumed by the cost model) on
+// demand.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// DataID identifies a data item. IDs are dense: a trace over n items
+// uses IDs 0..n-1.
+type DataID int
+
+// Ref is a single reference event: processor Proc touches data item
+// Data, transferring Volume units if the item is remote. The paper's
+// experiments use unit volume; generators may use larger volumes to
+// model coarser data granularity.
+type Ref struct {
+	Proc   int
+	Data   DataID
+	Volume int
+}
+
+// Window is one execution window: an ordered list of reference events
+// that execute between two potential data-movement points.
+type Window struct {
+	Refs []Ref
+}
+
+// Add appends a unit-volume reference event.
+func (w *Window) Add(proc int, data DataID) {
+	w.Refs = append(w.Refs, Ref{Proc: proc, Data: data, Volume: 1})
+}
+
+// AddVolume appends a reference event with an explicit volume.
+func (w *Window) AddVolume(proc int, data DataID, volume int) {
+	w.Refs = append(w.Refs, Ref{Proc: proc, Data: data, Volume: volume})
+}
+
+// Trace is a complete scheduling problem instance: the processor array,
+// the number of distinct data items, and the per-window reference
+// events.
+type Trace struct {
+	Grid    grid.Grid
+	NumData int
+	Windows []Window
+}
+
+// New returns an empty trace over the given array and data space.
+func New(g grid.Grid, numData int) *Trace {
+	return &Trace{Grid: g, NumData: numData}
+}
+
+// AddWindow appends an empty execution window and returns a pointer to
+// it so callers can populate it in place.
+func (t *Trace) AddWindow() *Window {
+	t.Windows = append(t.Windows, Window{})
+	return &t.Windows[len(t.Windows)-1]
+}
+
+// NumWindows returns the number of execution windows.
+func (t *Trace) NumWindows() int { return len(t.Windows) }
+
+// NumRefs returns the total number of reference events across all
+// windows.
+func (t *Trace) NumRefs() int {
+	n := 0
+	for i := range t.Windows {
+		n += len(t.Windows[i].Refs)
+	}
+	return n
+}
+
+// Validate checks structural invariants: every event names a processor
+// inside the array, a data item inside [0, NumData), and a positive
+// volume. It returns a descriptive error for the first violation.
+func (t *Trace) Validate() error {
+	if t.NumData < 0 {
+		return fmt.Errorf("trace: negative data count %d", t.NumData)
+	}
+	np := t.Grid.NumProcs()
+	for wi := range t.Windows {
+		for ri, r := range t.Windows[wi].Refs {
+			switch {
+			case r.Proc < 0 || r.Proc >= np:
+				return fmt.Errorf("trace: window %d ref %d: processor %d outside %v array", wi, ri, r.Proc, t.Grid)
+			case r.Data < 0 || int(r.Data) >= t.NumData:
+				return fmt.Errorf("trace: window %d ref %d: data %d outside [0,%d)", wi, ri, r.Data, t.NumData)
+			case r.Volume <= 0:
+				return fmt.Errorf("trace: window %d ref %d: non-positive volume %d", wi, ri, r.Volume)
+			}
+		}
+	}
+	return nil
+}
+
+// Counts is the per-window reference-count matrix of a trace:
+// Counts[w][d][p] is the total volume processor p requests of data item
+// d during window w. It is the quantity the analytic cost model works
+// with; the event ordering inside a window does not affect cost.
+type Counts [][][]int
+
+// BuildCounts projects the trace onto its reference-count matrix.
+func (t *Trace) BuildCounts() Counts {
+	np := t.Grid.NumProcs()
+	counts := make(Counts, len(t.Windows))
+	for wi := range t.Windows {
+		flat := make([]int, t.NumData*np)
+		wc := make([][]int, t.NumData)
+		for d := 0; d < t.NumData; d++ {
+			wc[d], flat = flat[:np], flat[np:]
+		}
+		for _, r := range t.Windows[wi].Refs {
+			wc[r.Data][r.Proc] += r.Volume
+		}
+		counts[wi] = wc
+	}
+	return counts
+}
+
+// ProcessorReferenceString returns, for window w, the ordered sequence
+// of processors that reference data item d (Definition 1 in the paper).
+func (t *Trace) ProcessorReferenceString(w int, d DataID) []int {
+	var procs []int
+	for _, r := range t.Windows[w].Refs {
+		if r.Data == d {
+			procs = append(procs, r.Proc)
+		}
+	}
+	return procs
+}
+
+// DataReferenceString returns, for window w, the ordered sequence of
+// data items referenced by processor p (Definition 2 in the paper).
+func (t *Trace) DataReferenceString(w int, p int) []DataID {
+	var data []DataID
+	for _, r := range t.Windows[w].Refs {
+		if r.Proc == p {
+			data = append(data, r.Data)
+		}
+	}
+	return data
+}
+
+// Merged returns a copy of the trace whose windows have been coalesced
+// according to groups: each element of groups is a half-open interval
+// [Start, End) of original window indices that becomes one window of
+// the result, preserving event order. Groups must be non-empty,
+// contiguous, sorted and cover all windows; Merged panics otherwise,
+// since malformed groupings indicate a scheduler bug.
+func (t *Trace) Merged(groups []Interval) *Trace {
+	checkPartition(groups, len(t.Windows))
+	out := New(t.Grid, t.NumData)
+	for _, iv := range groups {
+		w := out.AddWindow()
+		for i := iv.Start; i < iv.End; i++ {
+			w.Refs = append(w.Refs, t.Windows[i].Refs...)
+		}
+	}
+	return out
+}
+
+// Concat returns a new trace whose window list is the concatenation of
+// the operands' windows. All operands must share the same grid and data
+// space; Concat panics otherwise. It implements the paper's combined
+// benchmarks (e.g. "benchmark 1 + CODE").
+func Concat(traces ...*Trace) *Trace {
+	if len(traces) == 0 {
+		panic("trace: Concat of no traces")
+	}
+	first := traces[0]
+	out := New(first.Grid, first.NumData)
+	for _, t := range traces {
+		if t.Grid != first.Grid || t.NumData != first.NumData {
+			panic(fmt.Sprintf("trace: Concat of incompatible traces (%v/%d data vs %v/%d data)",
+				first.Grid, first.NumData, t.Grid, t.NumData))
+		}
+		for i := range t.Windows {
+			w := out.AddWindow()
+			w.Refs = append(w.Refs, t.Windows[i].Refs...)
+		}
+	}
+	return out
+}
+
+// Reversed returns a copy of the trace with the window order reversed
+// (event order inside each window is preserved). It implements the
+// paper's benchmark 5 construction, "CODE + reverse CODE".
+func (t *Trace) Reversed() *Trace {
+	out := New(t.Grid, t.NumData)
+	for i := len(t.Windows) - 1; i >= 0; i-- {
+		w := out.AddWindow()
+		w.Refs = append(w.Refs, t.Windows[i].Refs...)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	out := New(t.Grid, t.NumData)
+	for i := range t.Windows {
+		w := out.AddWindow()
+		w.Refs = append(w.Refs, t.Windows[i].Refs...)
+	}
+	return out
+}
+
+// Interval is a half-open range [Start, End) of window indices.
+type Interval struct {
+	Start, End int
+}
+
+// Len returns the number of windows in the interval.
+func (iv Interval) Len() int { return iv.End - iv.Start }
+
+func checkPartition(groups []Interval, n int) {
+	if len(groups) == 0 {
+		if n == 0 {
+			return
+		}
+		panic("trace: empty grouping of non-empty trace")
+	}
+	pos := 0
+	for _, iv := range groups {
+		if iv.Start != pos || iv.End <= iv.Start {
+			panic(fmt.Sprintf("trace: grouping %v is not a contiguous partition of %d windows", groups, n))
+		}
+		pos = iv.End
+	}
+	if pos != n {
+		panic(fmt.Sprintf("trace: grouping covers %d of %d windows", pos, n))
+	}
+}
+
+// UniformIntervals partitions n windows into consecutive groups of the
+// given size (the last group may be smaller). size must be positive.
+func UniformIntervals(n, size int) []Interval {
+	if size <= 0 {
+		panic(fmt.Sprintf("trace: non-positive interval size %d", size))
+	}
+	var out []Interval
+	for s := 0; s < n; s += size {
+		e := s + size
+		if e > n {
+			e = n
+		}
+		out = append(out, Interval{Start: s, End: e})
+	}
+	return out
+}
+
+// SingletonIntervals returns the identity partition: one interval per
+// window.
+func SingletonIntervals(n int) []Interval {
+	out := make([]Interval, n)
+	for i := range out {
+		out[i] = Interval{Start: i, End: i + 1}
+	}
+	return out
+}

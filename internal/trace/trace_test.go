@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func sampleTrace() *Trace {
+	t := New(grid.Square(2), 3)
+	w0 := t.AddWindow()
+	w0.Add(0, 1)
+	w0.Add(1, 1)
+	w0.AddVolume(3, 2, 5)
+	w1 := t.AddWindow()
+	w1.Add(2, 0)
+	w1.Add(2, 1)
+	w1.Add(0, 0)
+	return t
+}
+
+func TestAccessorCounts(t *testing.T) {
+	tr := sampleTrace()
+	if tr.NumWindows() != 2 {
+		t.Fatalf("NumWindows = %d", tr.NumWindows())
+	}
+	if tr.NumRefs() != 6 {
+		t.Fatalf("NumRefs = %d", tr.NumRefs())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Trace)
+	}{
+		{"bad proc", func(tr *Trace) { tr.Windows[0].Refs[0].Proc = 4 }},
+		{"negative proc", func(tr *Trace) { tr.Windows[0].Refs[0].Proc = -1 }},
+		{"bad data", func(tr *Trace) { tr.Windows[1].Refs[0].Data = 3 }},
+		{"negative data", func(tr *Trace) { tr.Windows[1].Refs[0].Data = -1 }},
+		{"zero volume", func(tr *Trace) { tr.Windows[0].Refs[2].Volume = 0 }},
+		{"negative numdata", func(tr *Trace) { tr.NumData = -1 }},
+	}
+	for _, c := range cases {
+		tr := sampleTrace()
+		c.mut(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", c.name)
+		}
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	tr := sampleTrace()
+	counts := tr.BuildCounts()
+	if len(counts) != 2 {
+		t.Fatalf("counts for %d windows", len(counts))
+	}
+	// Window 0: data 1 referenced by procs 0 and 1 (unit), data 2 by
+	// proc 3 with volume 5.
+	if counts[0][1][0] != 1 || counts[0][1][1] != 1 {
+		t.Errorf("window 0 data 1 counts = %v", counts[0][1])
+	}
+	if counts[0][2][3] != 5 {
+		t.Errorf("window 0 data 2 proc 3 = %d, want 5", counts[0][2][3])
+	}
+	if counts[0][0][0] != 0 {
+		t.Errorf("window 0 data 0 should be unreferenced")
+	}
+	// Window 1: data 0 by procs 2 and 0; data 1 by proc 2.
+	if counts[1][0][2] != 1 || counts[1][0][0] != 1 || counts[1][1][2] != 1 {
+		t.Errorf("window 1 counts wrong: %v", counts[1])
+	}
+}
+
+func TestBuildCountsAccumulatesRepeats(t *testing.T) {
+	tr := New(grid.Square(2), 1)
+	w := tr.AddWindow()
+	for i := 0; i < 4; i++ {
+		w.Add(2, 0)
+	}
+	w.AddVolume(2, 0, 3)
+	counts := tr.BuildCounts()
+	if counts[0][0][2] != 7 {
+		t.Fatalf("accumulated count = %d, want 7", counts[0][0][2])
+	}
+}
+
+func TestReferenceStrings(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.ProcessorReferenceString(0, 1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("ProcessorReferenceString(0,1) = %v", got)
+	}
+	if got := tr.ProcessorReferenceString(1, 2); got != nil {
+		t.Errorf("ProcessorReferenceString(1,2) = %v, want nil", got)
+	}
+	if got := tr.DataReferenceString(1, 2); !reflect.DeepEqual(got, []DataID{0, 1}) {
+		t.Errorf("DataReferenceString(1,2) = %v", got)
+	}
+}
+
+func TestMerged(t *testing.T) {
+	tr := sampleTrace()
+	m := tr.Merged([]Interval{{0, 2}})
+	if m.NumWindows() != 1 {
+		t.Fatalf("merged windows = %d", m.NumWindows())
+	}
+	if m.NumRefs() != tr.NumRefs() {
+		t.Fatalf("merged refs = %d, want %d", m.NumRefs(), tr.NumRefs())
+	}
+	// Order preserved: window 0 events then window 1 events.
+	if m.Windows[0].Refs[0] != tr.Windows[0].Refs[0] {
+		t.Error("merged window does not preserve order")
+	}
+	if m.Windows[0].Refs[3] != tr.Windows[1].Refs[0] {
+		t.Error("merged window does not append second window refs")
+	}
+}
+
+func TestMergedIdentity(t *testing.T) {
+	tr := sampleTrace()
+	m := tr.Merged(SingletonIntervals(tr.NumWindows()))
+	if !reflect.DeepEqual(m.Windows, tr.Windows) {
+		t.Error("identity merge changed windows")
+	}
+}
+
+func TestMergedPanicsOnBadPartition(t *testing.T) {
+	tr := sampleTrace()
+	bad := [][]Interval{
+		{{0, 1}},         // does not cover
+		{{0, 1}, {0, 2}}, // overlap
+		{{1, 2}},         // gap at start
+		{{0, 0}, {0, 2}}, // empty interval
+		{},               // empty grouping of non-empty trace
+	}
+	for i, groups := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: Merged(%v) did not panic", i, groups)
+				}
+			}()
+			tr.Merged(groups)
+		}()
+	}
+}
+
+func TestConcatAndReversed(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	c := Concat(a, b)
+	if c.NumWindows() != 4 || c.NumRefs() != a.NumRefs()*2 {
+		t.Fatalf("Concat: %d windows, %d refs", c.NumWindows(), c.NumRefs())
+	}
+	r := a.Reversed()
+	if !reflect.DeepEqual(r.Windows[0].Refs, a.Windows[1].Refs) {
+		t.Error("Reversed window 0 != original window 1")
+	}
+	if !reflect.DeepEqual(r.Windows[1].Refs, a.Windows[0].Refs) {
+		t.Error("Reversed window 1 != original window 0")
+	}
+	// Double reversal is identity.
+	if !reflect.DeepEqual(r.Reversed().Windows, a.Windows) {
+		t.Error("double Reversed is not identity")
+	}
+}
+
+func TestConcatPanicsOnMismatch(t *testing.T) {
+	a := New(grid.Square(2), 3)
+	b := New(grid.Square(3), 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat of mismatched grids did not panic")
+		}
+	}()
+	Concat(a, b)
+}
+
+func TestClone(t *testing.T) {
+	a := sampleTrace()
+	c := a.Clone()
+	if !reflect.DeepEqual(a.Windows, c.Windows) {
+		t.Fatal("clone differs")
+	}
+	c.Windows[0].Refs[0].Proc = 3
+	if a.Windows[0].Refs[0].Proc == 3 {
+		t.Fatal("clone shares backing storage")
+	}
+}
+
+func TestUniformIntervals(t *testing.T) {
+	got := UniformIntervals(7, 3)
+	want := []Interval{{0, 3}, {3, 6}, {6, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UniformIntervals(7,3) = %v, want %v", got, want)
+	}
+	if got := UniformIntervals(0, 3); got != nil {
+		t.Errorf("UniformIntervals(0,3) = %v, want nil", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("UniformIntervals(3,0) did not panic")
+			}
+		}()
+		UniformIntervals(3, 0)
+	}()
+}
+
+func TestSingletonIntervals(t *testing.T) {
+	got := SingletonIntervals(3)
+	want := []Interval{{0, 1}, {1, 2}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SingletonIntervals(3) = %v", got)
+	}
+}
+
+// randomTrace builds a valid random trace for property tests.
+func randomTrace(rng *rand.Rand) *Trace {
+	g := grid.New(1+rng.Intn(4), 1+rng.Intn(4))
+	nd := 1 + rng.Intn(8)
+	tr := New(g, nd)
+	for w := 0; w < 1+rng.Intn(5); w++ {
+		win := tr.AddWindow()
+		for r := 0; r < rng.Intn(10); r++ {
+			win.AddVolume(rng.Intn(g.NumProcs()), DataID(rng.Intn(nd)), 1+rng.Intn(3))
+		}
+	}
+	return tr
+}
+
+// Property: total reference volume is invariant under merging.
+func TestMergePreservesTotalVolume(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		sz := 1 + int(size)%3
+		m := tr.Merged(UniformIntervals(tr.NumWindows(), sz))
+		return totalVolume(tr.BuildCounts()) == totalVolume(m.BuildCounts())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func totalVolume(c Counts) int {
+	total := 0
+	for _, wc := range c {
+		for _, dc := range wc {
+			for _, v := range dc {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// Property: counts match reference strings: the number of entries of p
+// in the processor reference string of (w, d) with unit volumes equals
+// Counts[w][d][p].
+func TestCountsMatchReferenceStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+		tr := New(g, 4)
+		win := tr.AddWindow()
+		for r := 0; r < rng.Intn(20); r++ {
+			win.Add(rng.Intn(g.NumProcs()), DataID(rng.Intn(4)))
+		}
+		counts := tr.BuildCounts()
+		for d := DataID(0); d < 4; d++ {
+			perProc := make([]int, g.NumProcs())
+			for _, p := range tr.ProcessorReferenceString(0, d) {
+				perProc[p]++
+			}
+			for p, n := range perProc {
+				if counts[0][d][p] != n {
+					t.Fatalf("iter %d: counts[0][%d][%d] = %d, want %d", iter, d, p, counts[0][d][p], n)
+				}
+			}
+		}
+	}
+}

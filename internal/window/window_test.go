@@ -1,0 +1,419 @@
+package window
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func randomProblem(rng *rand.Rand, capacitated bool) *sched.Problem {
+	g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+	nd := 1 + rng.Intn(5)
+	tr := trace.New(g, nd)
+	for w := 0; w < 1+rng.Intn(6); w++ {
+		win := tr.AddWindow()
+		for r := 0; r < rng.Intn(12); r++ {
+			win.AddVolume(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)), 1+rng.Intn(3))
+		}
+	}
+	capa := 0
+	if capacitated {
+		capa = placement.PaperCapacity(nd, g.NumProcs())
+	}
+	return sched.NewProblem(tr, capa)
+}
+
+func TestMethodString(t *testing.T) {
+	if LocalCenters.String() != "local" || GlobalCenters.String() != "global" {
+		t.Fatal("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method has empty name")
+	}
+}
+
+func TestSingletonsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomProblem(rng, false)
+	g := Singletons(p)
+	if err := g.Validate(p.Model.NumData, p.Model.NumWindows()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := Grouping{{{Start: 0, End: 1}}} // one item, but trace has two
+	if err := bad.Validate(2, 1); err == nil {
+		t.Error("wrong item count accepted")
+	}
+	bad = Grouping{{{Start: 1, End: 2}}} // gap at 0
+	if err := bad.Validate(1, 2); err == nil {
+		t.Error("gap accepted")
+	}
+	bad = Grouping{{{Start: 0, End: 1}}} // covers 1 of 2
+	if err := bad.Validate(1, 2); err == nil {
+		t.Error("partial cover accepted")
+	}
+}
+
+// The paper's core claim for Algorithm 3: grouping never increases the
+// total communication cost relative to the ungrouped (singleton)
+// partition under the same center method.
+func TestGreedyNeverWorseThanSingletons(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 60; iter++ {
+		p := randomProblem(rng, false)
+		for _, m := range []Method{LocalCenters, GlobalCenters} {
+			grp := Greedy(p, m)
+			if err := grp.Validate(p.Model.NumData, p.Model.NumWindows()); err != nil {
+				t.Fatal(err)
+			}
+			grouped, err := Schedule(p, grp, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := Schedule(p, Singletons(p), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, cp := p.Model.TotalCost(grouped), p.Model.TotalCost(plain)
+			if cg > cp {
+				t.Fatalf("iter %d method %v: grouped %d > ungrouped %d", iter, m, cg, cp)
+			}
+		}
+	}
+}
+
+// The exact DP grouper is never worse than the greedy heuristic.
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 60; iter++ {
+		p := randomProblem(rng, false)
+		og, err := Schedule(p, Optimal(p), LocalCenters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg, err := Schedule(p, Greedy(p, LocalCenters), LocalCenters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Model.TotalCost(og) > p.Model.TotalCost(gg) {
+			t.Fatalf("iter %d: optimal %d > greedy %d", iter, p.Model.TotalCost(og), p.Model.TotalCost(gg))
+		}
+	}
+}
+
+// The DP grouper matches exhaustive enumeration of all partitions on
+// tiny instances.
+func TestOptimalMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 40; iter++ {
+		g := grid.New(1+rng.Intn(2), 1+rng.Intn(2))
+		tr := trace.New(g, 1)
+		nw := 1 + rng.Intn(5)
+		for w := 0; w < nw; w++ {
+			win := tr.AddWindow()
+			for r := 0; r < rng.Intn(6); r++ {
+				win.Add(rng.Intn(g.NumProcs()), 0)
+			}
+		}
+		p := sched.NewProblem(tr, 0)
+		pd := newPerData(p, 0)
+
+		best := int64(1) << 62
+		var enumerate func(start int, acc []trace.Interval)
+		enumerate = func(start int, acc []trace.Interval) {
+			if start == nw {
+				if c := pd.partitionCost(acc, LocalCenters); c < best {
+					best = c
+				}
+				return
+			}
+			for end := start + 1; end <= nw; end++ {
+				enumerate(end, append(acc, trace.Interval{Start: start, End: end}))
+			}
+		}
+		enumerate(0, nil)
+
+		got := pd.partitionCost(Optimal(p)[0], LocalCenters)
+		if got != best {
+			t.Fatalf("iter %d: DP cost %d, exhaustive %d", iter, got, best)
+		}
+	}
+}
+
+// Theorem 3: with the *closest pair* of local-optimal centers for two
+// consecutive windows, merging them cannot reduce the total cost.
+func TestTheorem3TwoWindowGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 300; iter++ {
+		g := grid.New(1+rng.Intn(4), 1+rng.Intn(4))
+		tr := trace.New(g, 1)
+		for w := 0; w < 2; w++ {
+			win := tr.AddWindow()
+			for r := 0; r < 1+rng.Intn(8); r++ {
+				win.AddVolume(rng.Intn(g.NumProcs()), 0, 1+rng.Intn(3))
+			}
+		}
+		p := sched.NewProblem(tr, 0)
+		pd := newPerData(p, 0)
+
+		// All local-optimal centers of each window.
+		optima := func(w int) []int {
+			_, best := pd.groupCenter(w, w+1)
+			var out []int
+			for c := 0; c < pd.np; c++ {
+				if pd.groupResidence(w, w+1, c) == best {
+					out = append(out, c)
+				}
+			}
+			return out
+		}
+		o0, o1 := optima(0), optima(1)
+		closest := 1 << 30
+		for _, a := range o0 {
+			for _, b := range o1 {
+				if d := p.Model.Dist(a, b); d < closest {
+					closest = d
+				}
+			}
+		}
+		_, r0 := pd.groupCenter(0, 1)
+		_, r1 := pd.groupCenter(1, 2)
+		ungrouped := r0 + r1 + pd.size*int64(closest)
+		_, grouped := pd.groupCenter(0, 2)
+		if grouped < ungrouped {
+			t.Fatalf("iter %d: grouping reduced cost %d -> %d despite closest-pair centers",
+				iter, ungrouped, grouped)
+		}
+	}
+}
+
+// Lemma 1 / Theorem 2: the residence cost of a window increases
+// strictly monotonically along any shortest path from the optimal
+// center closest to a target processor toward that target.
+func TestMonotoneCostAlongPathFromClosestOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 300; iter++ {
+		g := grid.New(2+rng.Intn(4), 2+rng.Intn(4))
+		tr := trace.New(g, 1)
+		win := tr.AddWindow()
+		for r := 0; r < 1+rng.Intn(8); r++ {
+			win.AddVolume(rng.Intn(g.NumProcs()), 0, 1+rng.Intn(3))
+		}
+		p := sched.NewProblem(tr, 0)
+		pd := newPerData(p, 0)
+
+		target := rng.Intn(g.NumProcs())
+		// Optimal center closest to the target.
+		_, best := pd.groupCenter(0, 1)
+		closestOpt, closestDist := -1, 1<<30
+		for c := 0; c < pd.np; c++ {
+			if pd.groupResidence(0, 1, c) == best {
+				if d := p.Model.Dist(c, target); d < closestDist {
+					closestOpt, closestDist = c, d
+				}
+			}
+		}
+		// Walk the canonical x-y shortest path and check strict growth.
+		path := g.Route(closestOpt, target)
+		for i := 1; i < len(path); i++ {
+			a := pd.groupResidence(0, 1, path[i-1])
+			b := pd.groupResidence(0, 1, path[i])
+			if b <= a {
+				t.Fatalf("iter %d: cost not strictly increasing along %v: step %d: %d -> %d",
+					iter, path, i, a, b)
+			}
+		}
+	}
+}
+
+func TestScheduleCapacityRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 40; iter++ {
+		p := randomProblem(rng, true)
+		for _, m := range []Method{LocalCenters, GlobalCenters} {
+			s, err := Schedule(p, Greedy(p, m), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(p.Model.Grid, p.Model.NumData, p.Model.NumWindows()); err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < p.Model.NumWindows(); w++ {
+				used := make([]int, p.Model.Grid.NumProcs())
+				for d := 0; d < p.Model.NumData; d++ {
+					used[s.Centers[w][d]]++
+				}
+				for proc, n := range used {
+					if n > p.Capacity {
+						t.Fatalf("iter %d method %v w%d: proc %d holds %d > %d", iter, m, w, proc, n, p.Capacity)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A group's windows all share one center in the built schedule (unless
+// the capacity fallback split the group — excluded here by using no
+// capacity).
+func TestScheduleConstantWithinGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 40; iter++ {
+		p := randomProblem(rng, false)
+		grp := Greedy(p, LocalCenters)
+		s, err := Schedule(p, grp, LocalCenters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, groups := range grp {
+			for _, g := range groups {
+				for w := g.Start + 1; w < g.End; w++ {
+					if s.Centers[w][d] != s.Centers[g.Start][d] {
+						t.Fatalf("iter %d: item %d group %v has centers %d and %d",
+							iter, d, g, s.Centers[g.Start][d], s.Centers[w][d])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Grouping with LocalCenters on top of LOMCDS never does worse than
+// plain LOMCDS (the Table 2 vs Table 1 comparison).
+func TestGroupingImprovesOnLOMCDS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 60; iter++ {
+		p := randomProblem(rng, false)
+		lom, err := sched.LOMCDS{}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grouped, err := Schedule(p, Greedy(p, LocalCenters), LocalCenters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Model.TotalCost(grouped) > p.Model.TotalCost(lom) {
+			t.Fatalf("iter %d: grouped %d > LOMCDS %d", iter,
+				p.Model.TotalCost(grouped), p.Model.TotalCost(lom))
+		}
+	}
+}
+
+func TestScheduleRejectsBadGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := randomProblem(rng, false)
+	bad := make(Grouping, p.Model.NumData+1)
+	if _, err := Schedule(p, bad, LocalCenters); err == nil {
+		t.Error("bad grouping accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := trace.New(grid.Square(2), 2)
+	p := sched.NewProblem(tr, 0)
+	grp := Greedy(p, LocalCenters)
+	s, err := Schedule(p, grp, LocalCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumWindows() != 0 {
+		t.Fatal("schedule for empty trace has windows")
+	}
+}
+
+func TestGreedyAcceptEqualMergesIdenticalWindows(t *testing.T) {
+	// Four identical windows: the literal Algorithm 3 acceptance merges
+	// them all into one group (cost stays equal), while the strict
+	// variant keeps them apart — at the same final cost, since equal
+	// centers imply no movement either way.
+	g := grid.Square(3)
+	tr := trace.New(g, 1)
+	for w := 0; w < 4; w++ {
+		win := tr.AddWindow()
+		win.Add(0, 0)
+		win.Add(8, 0)
+	}
+	p := sched.NewProblem(tr, 0)
+	grp := GreedyAcceptEqual(p, LocalCenters)
+	want := []trace.Interval{{Start: 0, End: 4}}
+	if !reflect.DeepEqual(grp[0], want) {
+		t.Fatalf("accept-equal grouping = %v, want %v", grp[0], want)
+	}
+	strict := Greedy(p, LocalCenters)
+	sa, err := Schedule(p, strict, LocalCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Schedule(p, grp, LocalCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.TotalCost(sa) != p.Model.TotalCost(sb) {
+		t.Fatalf("strict cost %d != accept-equal cost %d",
+			p.Model.TotalCost(sa), p.Model.TotalCost(sb))
+	}
+}
+
+func TestGreedySplitsAlternatingHotSpots(t *testing.T) {
+	// Heavy references alternate between opposite corners; with a
+	// light item (size 1) and heavy windows, the best partition keeps
+	// per-window centers, so greedy must not merge everything.
+	g := grid.Square(4)
+	tr := trace.New(g, 1)
+	for w := 0; w < 6; w++ {
+		win := tr.AddWindow()
+		corner := 0
+		if w%2 == 1 {
+			corner = 15
+		}
+		win.AddVolume(corner, 0, 100)
+	}
+	p := sched.NewProblem(tr, 0)
+	grp := Greedy(p, LocalCenters)
+	if len(grp[0]) == 1 {
+		t.Fatalf("greedy merged alternating hot spots into one group: %v", grp[0])
+	}
+	s, err := Schedule(p, grp, LocalCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-window LOMCDS schedule costs 6 moves of distance 6 = 36;
+	// any single-center schedule costs >= 3*100*6. Grouped must stay at
+	// the LOMCDS cost.
+	if got := p.Model.TotalCost(s); got != 30 {
+		t.Fatalf("grouped cost = %d, want 30 (5 moves of distance 6)", got)
+	}
+}
+
+func BenchmarkGreedyLocal(b *testing.B) {
+	benchGroup(b, func(p *sched.Problem) { Greedy(p, LocalCenters) })
+}
+func BenchmarkGreedyGlobal(b *testing.B) {
+	benchGroup(b, func(p *sched.Problem) { Greedy(p, GlobalCenters) })
+}
+func BenchmarkOptimalDP(b *testing.B) { benchGroup(b, func(p *sched.Problem) { Optimal(p) }) }
+
+func benchGroup(b *testing.B, fn func(*sched.Problem)) {
+	rng := rand.New(rand.NewSource(30))
+	g := grid.Square(4)
+	tr := trace.New(g, 64)
+	for w := 0; w < 24; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < 256; r++ {
+			win.Add(rng.Intn(16), trace.DataID(rng.Intn(64)))
+		}
+	}
+	p := sched.NewProblem(tr, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(p)
+	}
+}

@@ -1,0 +1,389 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// Generator produces the reference-string trace of one computation on
+// an n x n data matrix mapped onto a processor array.
+type Generator interface {
+	// Name returns a short identifier for tables and CLIs.
+	Name() string
+	// Generate emits the trace. n is the data matrix dimension.
+	Generate(n int, g grid.Grid) *trace.Trace
+}
+
+// LU generates the reference strings of right-looking LU factorization
+// without pivoting (the paper's benchmark 1). Execution window k holds
+// elimination step k: the column scaling A(i,k) /= A(k,k) and the
+// trailing update A(i,j) -= A(i,k)*A(k,j). Every operation references
+// the elements it reads and writes; the iteration partition maps the
+// update of (i, j) to Part(i, j).
+type LU struct {
+	// Part is the iteration partition; nil means BlockPartition.
+	Part Partition
+}
+
+// Name implements Generator.
+func (LU) Name() string { return "lu" }
+
+// Generate implements Generator.
+func (l LU) Generate(n int, g grid.Grid) *trace.Trace {
+	part := l.Part
+	if part == nil {
+		part = BlockPartition
+	}
+	m := trace.SquareMatrix(n)
+	t := trace.New(g, m.NumElements())
+	for k := 0; k < n-1; k++ {
+		w := t.AddWindow()
+		// Column scaling: A(i,k) /= A(k,k), executed where (i,k) lives.
+		for i := k + 1; i < n; i++ {
+			p := part(m, g, i, k)
+			w.Add(p, m.ID(i, k))
+			w.Add(p, m.ID(k, k))
+		}
+		// Trailing submatrix update.
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				p := part(m, g, i, j)
+				w.Add(p, m.ID(i, j))
+				w.Add(p, m.ID(i, k))
+				w.Add(p, m.ID(k, j))
+			}
+		}
+	}
+	return t
+}
+
+// MatSquare generates the reference strings of computing the square of
+// a matrix, C = A*A (the paper's benchmark 2), in outer-product order:
+// execution window k accumulates the rank-1 update C(i,j) +=
+// A(i,k)*A(k,j). The data items are the elements of A; the accumulator
+// C(i,j) stays in the registers of the processor computing iteration
+// (i, j), so only the A references travel.
+type MatSquare struct {
+	// Part is the iteration partition; nil means BlockPartition.
+	Part Partition
+}
+
+// Name implements Generator.
+func (MatSquare) Name() string { return "matsquare" }
+
+// Generate implements Generator.
+func (ms MatSquare) Generate(n int, g grid.Grid) *trace.Trace {
+	part := ms.Part
+	if part == nil {
+		part = BlockPartition
+	}
+	m := trace.SquareMatrix(n)
+	t := trace.New(g, m.NumElements())
+	for k := 0; k < n; k++ {
+		w := t.AddWindow()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := part(m, g, i, j)
+				w.Add(p, m.ID(i, k))
+				w.Add(p, m.ID(k, j))
+			}
+		}
+	}
+	return t
+}
+
+// Code is the stand-in for the irregular kernel of the paper's
+// technical report [5] ("CODE"), which is not retrievable. It produces
+// deterministic, non-affine, non-uniform reference strings: in every
+// execution window each processor issues RefsPerProc references, half
+// of them clustered around a hot region that drifts across the data
+// space from window to window, the rest scattered pseudo-randomly.
+// This preserves what the paper uses CODE for — complicated reference
+// patterns whose locality shifts over time, where movement-aware
+// scheduling pays off most. See DESIGN.md for the substitution note.
+type Code struct {
+	// Seed selects the pseudo-random stream; the same seed always
+	// yields the same trace.
+	Seed uint64
+	// Windows is the number of execution windows; 0 means n (matching
+	// the dense kernels' window count).
+	Windows int
+	// RefsPerProc is the number of references each processor issues in
+	// each window; 0 means 2*n.
+	RefsPerProc int
+}
+
+// Name implements Generator.
+func (Code) Name() string { return "code" }
+
+// Generate implements Generator.
+func (c Code) Generate(n int, g grid.Grid) *trace.Trace {
+	m := trace.SquareMatrix(n)
+	nd := m.NumElements()
+	nw := c.Windows
+	if nw <= 0 {
+		nw = n
+	}
+	rpp := c.RefsPerProc
+	if rpp <= 0 {
+		rpp = 2 * n
+	}
+	t := trace.New(g, nd)
+	rng := xorshift(c.Seed ^ 0x9e3779b97f4a7c15)
+	for wi := 0; wi < nw; wi++ {
+		w := t.AddWindow()
+		// The hot region drifts by a coprime stride so it sweeps the
+		// whole data space over the run.
+		hotStart := (wi * (nd/nw + 1)) % nd
+		hotLen := nd / 8
+		if hotLen < n {
+			hotLen = n
+		}
+		if hotLen < 1 {
+			hotLen = 1
+		}
+		for p := 0; p < g.NumProcs(); p++ {
+			for r := 0; r < rpp; r++ {
+				x := rng.next()
+				var d int
+				if x&7 != 0 {
+					// Clustered reference near the drifting hot region
+					// (seven eighths of the stream).
+					d = (hotStart + int((x>>3)%uint64(hotLen))) % nd
+				} else {
+					// Scattered irregular reference: a quadratic probe
+					// keeps the pattern non-affine in (p, r, wi).
+					q := int((x >> 3) % uint64(nd))
+					d = (q*q + 3*q + p) % nd
+				}
+				w.Add(p, trace.DataID(d))
+			}
+		}
+	}
+	return t
+}
+
+// xorshift is a tiny deterministic PRNG (xorshift64*), so traces do not
+// depend on math/rand's stream stability across Go releases.
+type xorshift uint64
+
+func (s *xorshift) next() uint64 {
+	x := uint64(*s)
+	if x == 0 {
+		x = 0x853c49e6748fea9b
+	}
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*s = xorshift(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Stencil generates a five-point stencil sweep: in every time step
+// (one execution window) the owner of cell (i, j) references the cell
+// and its four neighbours. It is not one of the paper's benchmarks but
+// a standard regular workload used by the examples and ablations.
+type Stencil struct {
+	// Part is the iteration partition; nil means BlockPartition.
+	Part Partition
+	// Steps is the number of sweeps; 0 means n/2.
+	Steps int
+}
+
+// Name implements Generator.
+func (Stencil) Name() string { return "stencil" }
+
+// Generate implements Generator.
+func (s Stencil) Generate(n int, g grid.Grid) *trace.Trace {
+	part := s.Part
+	if part == nil {
+		part = BlockPartition
+	}
+	steps := s.Steps
+	if steps <= 0 {
+		steps = n / 2
+		if steps == 0 {
+			steps = 1
+		}
+	}
+	m := trace.SquareMatrix(n)
+	t := trace.New(g, m.NumElements())
+	for step := 0; step < steps; step++ {
+		w := t.AddWindow()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := part(m, g, i, j)
+				w.Add(p, m.ID(i, j))
+				for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					ni, nj := i+d[0], j+d[1]
+					if ni >= 0 && ni < n && nj >= 0 && nj < n {
+						w.Add(p, m.ID(ni, nj))
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Access is one affine array access of a loop nest: iteration (i, j)
+// touches matrix element (AI*i + AJ*j + A0, BI*i + BJ*j + B0).
+// Accesses falling outside the matrix are skipped.
+type Access struct {
+	AI, AJ, A0 int
+	BI, BJ, B0 int
+}
+
+// At returns the element accessed by iteration (i, j).
+func (a Access) At(i, j int) (int, int) {
+	return a.AI*i + a.AJ*j + a.A0, a.BI*i + a.BJ*j + a.B0
+}
+
+// AffineNest is a generic tracer for doubly nested affine loops,
+// covering the regular workloads the prior redistribution literature
+// assumes. Each outer step t in [0, Steps) forms one execution window
+// sweeping the full (i, j) iteration rectangle and issuing every access
+// in Accesses; accesses may reference t through the Shift fields.
+type AffineNest struct {
+	// Label is the generator name.
+	Label string
+	// Part is the iteration partition; nil means BlockPartition.
+	Part Partition
+	// Steps is the number of execution windows; 0 means n.
+	Steps int
+	// Accesses are the per-iteration array accesses.
+	Accesses []Access
+	// ShiftA, ShiftB optionally translate every access by
+	// (t*ShiftA, t*ShiftB) at step t, letting the footprint drift.
+	ShiftA, ShiftB int
+}
+
+// Name implements Generator.
+func (an AffineNest) Name() string {
+	if an.Label != "" {
+		return an.Label
+	}
+	return "affine"
+}
+
+// Generate implements Generator.
+func (an AffineNest) Generate(n int, g grid.Grid) *trace.Trace {
+	part := an.Part
+	if part == nil {
+		part = BlockPartition
+	}
+	steps := an.Steps
+	if steps <= 0 {
+		steps = n
+	}
+	m := trace.SquareMatrix(n)
+	t := trace.New(g, m.NumElements())
+	for step := 0; step < steps; step++ {
+		w := t.AddWindow()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := part(m, g, i, j)
+				for _, acc := range an.Accesses {
+					r, c := acc.At(i, j)
+					r += step * an.ShiftA
+					c += step * an.ShiftB
+					if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
+						w.Add(p, m.ID(r, c))
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Concat chains generators into one program: the windows of each
+// generator's trace follow the previous one's, sharing the same data
+// space. It implements the paper's combined benchmarks.
+type Concat struct {
+	Label string
+	Gens  []Generator
+}
+
+// Name implements Generator.
+func (c Concat) Name() string { return c.Label }
+
+// Generate implements Generator.
+func (c Concat) Generate(n int, g grid.Grid) *trace.Trace {
+	if len(c.Gens) == 0 {
+		panic("workload: Concat with no generators")
+	}
+	traces := make([]*trace.Trace, len(c.Gens))
+	for i, gen := range c.Gens {
+		traces[i] = gen.Generate(n, g)
+	}
+	return trace.Concat(traces...)
+}
+
+// Reversed wraps a generator, emitting its windows in reverse order
+// (benchmark 5's "reverse execution order of the CODE").
+type Reversed struct {
+	Gen Generator
+}
+
+// Name implements Generator.
+func (r Reversed) Name() string { return r.Gen.Name() + "-reversed" }
+
+// Generate implements Generator.
+func (r Reversed) Generate(n int, g grid.Grid) *trace.Trace {
+	return r.Gen.Generate(n, g).Reversed()
+}
+
+// Benchmark is one row family of the paper's Tables 1 and 2.
+type Benchmark struct {
+	// ID is the paper's benchmark number (1-5).
+	ID int
+	// Description matches the paper's prose.
+	Description string
+	// Gen produces the benchmark's trace.
+	Gen Generator
+}
+
+// codeSeed fixes the CODE stand-in's stream for the paper tables.
+const codeSeed = 1998
+
+// PaperBenchmarks returns the five benchmarks of the evaluation
+// section:
+//
+//	1: LU factorization
+//	2: the square of a matrix
+//	3: benchmark 1 combined with CODE
+//	4: benchmark 2 combined with CODE
+//	5: CODE combined with CODE in reverse execution order
+func PaperBenchmarks() []Benchmark {
+	code := Code{Seed: codeSeed}
+	return []Benchmark{
+		{ID: 1, Description: "LU factorization", Gen: LU{}},
+		{ID: 2, Description: "matrix square", Gen: MatSquare{}},
+		{ID: 3, Description: "LU + CODE", Gen: Concat{Label: "lu+code", Gens: []Generator{LU{}, code}}},
+		{ID: 4, Description: "matrix square + CODE", Gen: Concat{Label: "matsquare+code", Gens: []Generator{MatSquare{}, code}}},
+		{ID: 5, Description: "CODE + reverse CODE", Gen: Concat{Label: "code+rcode", Gens: []Generator{code, Reversed{Gen: code}}}},
+	}
+}
+
+// ByName returns a built-in generator by its command-line name.
+func ByName(name string) (Generator, error) {
+	switch name {
+	case "lu":
+		return LU{}, nil
+	case "matsquare":
+		return MatSquare{}, nil
+	case "code":
+		return Code{Seed: codeSeed}, nil
+	case "stencil":
+		return Stencil{}, nil
+	}
+	for _, b := range PaperBenchmarks() {
+		if b.Gen.Name() == name {
+			return b.Gen, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown generator %q", name)
+}

@@ -1,0 +1,356 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+func TestBlockPartitionTiles(t *testing.T) {
+	m := trace.SquareMatrix(8)
+	g := grid.Square(4)
+	// Tile size 2x2: iteration (0,0) on proc (0,0); (0,2) on (1,0);
+	// (2,0) on (0,1); (7,7) on (3,3).
+	cases := []struct {
+		i, j int
+		want grid.Coord
+	}{
+		{0, 0, grid.Coord{X: 0, Y: 0}},
+		{0, 2, grid.Coord{X: 1, Y: 0}},
+		{2, 0, grid.Coord{X: 0, Y: 1}},
+		{7, 7, grid.Coord{X: 3, Y: 3}},
+	}
+	for _, c := range cases {
+		if got := BlockPartition(m, g, c.i, c.j); got != g.Index(c.want) {
+			t.Errorf("BlockPartition(%d,%d) = %d, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestRowPartition(t *testing.T) {
+	m := trace.SquareMatrix(8)
+	g := grid.Square(2) // 4 procs, 2 rows each
+	if got := RowPartition(m, g, 0, 5); got != 0 {
+		t.Errorf("row 0 -> %d", got)
+	}
+	if got := RowPartition(m, g, 7, 0); got != 3 {
+		t.Errorf("row 7 -> %d", got)
+	}
+}
+
+func TestCyclicPartition(t *testing.T) {
+	m := trace.SquareMatrix(4)
+	g := grid.Square(2)
+	if got := CyclicPartition(m, g, 0, 0); got != 0 {
+		t.Errorf("(0,0) -> %d", got)
+	}
+	if got := CyclicPartition(m, g, 0, 3); got != 3 {
+		t.Errorf("(0,3) -> %d", got)
+	}
+	if got := CyclicPartition(m, g, 1, 0); got != 0 {
+		t.Errorf("(1,0) -> %d", got)
+	}
+}
+
+func TestPartitionByName(t *testing.T) {
+	for _, name := range []string{"block", "row", "cyclic"} {
+		if _, err := PartitionByName(name); err != nil {
+			t.Errorf("PartitionByName(%q): %v", name, err)
+		}
+	}
+	if _, err := PartitionByName("bogus"); err == nil {
+		t.Error("bogus partition accepted")
+	}
+}
+
+// All partitions keep every iteration on a valid processor.
+func TestPartitionsInRange(t *testing.T) {
+	for _, n := range []int{3, 8, 17} {
+		m := trace.SquareMatrix(n)
+		for _, g := range []grid.Grid{grid.Square(2), grid.Square(4), grid.New(3, 2)} {
+			for _, part := range []Partition{BlockPartition, RowPartition, CyclicPartition} {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						p := part(m, g, i, j)
+						if p < 0 || p >= g.NumProcs() {
+							t.Fatalf("n=%d grid=%v (%d,%d): proc %d out of range", n, g, i, j, p)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLUShape(t *testing.T) {
+	n := 8
+	tr := LU{}.Generate(n, grid.Square(4))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != n-1 {
+		t.Fatalf("LU windows = %d, want %d", tr.NumWindows(), n-1)
+	}
+	if tr.NumData != n*n {
+		t.Fatalf("LU data = %d", tr.NumData)
+	}
+	// Window k references: 2(n-1-k) scaling refs + 3(n-1-k)^2 update refs.
+	for k := 0; k < n-1; k++ {
+		r := n - 1 - k
+		want := 2*r + 3*r*r
+		if got := len(tr.Windows[k].Refs); got != want {
+			t.Fatalf("LU window %d has %d refs, want %d", k, got, want)
+		}
+	}
+}
+
+func TestLULastWindowTouchesCorner(t *testing.T) {
+	n := 4
+	tr := LU{}.Generate(n, grid.Square(2))
+	m := trace.SquareMatrix(n)
+	last := tr.Windows[n-2]
+	touched := map[trace.DataID]bool{}
+	for _, r := range last.Refs {
+		touched[r.Data] = true
+	}
+	for _, id := range []trace.DataID{m.ID(3, 3), m.ID(3, 2), m.ID(2, 3), m.ID(2, 2)} {
+		if !touched[id] {
+			t.Errorf("final LU step does not touch element %d", id)
+		}
+	}
+	if touched[m.ID(0, 1)] {
+		t.Error("final LU step touches the factored row 0")
+	}
+}
+
+func TestMatSquareShape(t *testing.T) {
+	n := 6
+	tr := MatSquare{}.Generate(n, grid.Square(2))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != n {
+		t.Fatalf("windows = %d, want %d", tr.NumWindows(), n)
+	}
+	for k := 0; k < n; k++ {
+		if got := len(tr.Windows[k].Refs); got != 2*n*n {
+			t.Fatalf("window %d refs = %d, want %d", k, got, 2*n*n)
+		}
+	}
+	// Window k references only row k and column k of A.
+	m := trace.SquareMatrix(n)
+	for _, r := range tr.Windows[2].Refs {
+		i, j := m.Element(r.Data)
+		if i != 2 && j != 2 {
+			t.Fatalf("window 2 references (%d,%d) outside row/col 2", i, j)
+		}
+	}
+}
+
+func TestCodeDeterministicAndIrregular(t *testing.T) {
+	g := grid.Square(4)
+	a := Code{Seed: 7}.Generate(8, g)
+	b := Code{Seed: 7}.Generate(8, g)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Windows, b.Windows) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := Code{Seed: 8}.Generate(8, g)
+	if reflect.DeepEqual(a.Windows, c.Windows) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if a.NumWindows() != 8 {
+		t.Fatalf("windows = %d, want 8 (default n)", a.NumWindows())
+	}
+	// Each window: 16 procs x 2n refs.
+	if got := len(a.Windows[0].Refs); got != 16*16 {
+		t.Fatalf("window refs = %d, want 256", got)
+	}
+	// Irregular: consecutive windows reference different data sets.
+	set := func(w int) map[trace.DataID]int {
+		out := map[trace.DataID]int{}
+		for _, r := range a.Windows[w].Refs {
+			out[r.Data]++
+		}
+		return out
+	}
+	if reflect.DeepEqual(set(0), set(1)) {
+		t.Fatal("CODE windows 0 and 1 have identical reference multisets")
+	}
+}
+
+func TestCodeCustomShape(t *testing.T) {
+	tr := Code{Seed: 1, Windows: 3, RefsPerProc: 5}.Generate(4, grid.Square(2))
+	if tr.NumWindows() != 3 {
+		t.Fatalf("windows = %d", tr.NumWindows())
+	}
+	if got := len(tr.Windows[0].Refs); got != 4*5 {
+		t.Fatalf("refs = %d, want 20", got)
+	}
+}
+
+func TestStencilShape(t *testing.T) {
+	tr := Stencil{Steps: 2}.Generate(4, grid.Square(2))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 2 {
+		t.Fatalf("windows = %d", tr.NumWindows())
+	}
+	// 4x4 cells: 4 corners (3 refs), 8 edges (4 refs), 4 interior (5 refs).
+	want := 4*3 + 8*4 + 4*5
+	if got := len(tr.Windows[0].Refs); got != want {
+		t.Fatalf("refs = %d, want %d", got, want)
+	}
+}
+
+func TestStencilDefaultSteps(t *testing.T) {
+	if got := (Stencil{}).Generate(6, grid.Square(2)).NumWindows(); got != 3 {
+		t.Fatalf("default steps = %d, want n/2 = 3", got)
+	}
+	if got := (Stencil{}).Generate(1, grid.Square(2)).NumWindows(); got != 1 {
+		t.Fatalf("n=1 steps = %d, want 1", got)
+	}
+}
+
+func TestAffineNest(t *testing.T) {
+	// A transpose-read nest: iteration (i,j) reads (j,i); footprint
+	// shifts right by one column per step, so late windows drop
+	// out-of-range accesses.
+	an := AffineNest{
+		Label:    "transpose",
+		Steps:    2,
+		Accesses: []Access{{AI: 0, AJ: 1, BI: 1, BJ: 0}},
+		ShiftB:   1,
+	}
+	if an.Name() != "transpose" {
+		t.Fatalf("Name = %q", an.Name())
+	}
+	tr := an.Generate(3, grid.Square(2))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 2 {
+		t.Fatalf("windows = %d", tr.NumWindows())
+	}
+	// Step 0: all 9 accesses in range. Step 1: column j+... element
+	// (j, i+1): i+1 <= 2 requires i < 2, so 6 accesses.
+	if got := len(tr.Windows[0].Refs); got != 9 {
+		t.Fatalf("step 0 refs = %d", got)
+	}
+	if got := len(tr.Windows[1].Refs); got != 6 {
+		t.Fatalf("step 1 refs = %d", got)
+	}
+	if (AffineNest{}).Name() != "affine" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestConcatAndReversedGenerators(t *testing.T) {
+	g := grid.Square(2)
+	lu := LU{}
+	code := Code{Seed: 1}
+	comb := Concat{Label: "x", Gens: []Generator{lu, code}}
+	tr := comb.Generate(4, g)
+	if tr.NumWindows() != lu.Generate(4, g).NumWindows()+code.Generate(4, g).NumWindows() {
+		t.Fatal("concat window count wrong")
+	}
+	rev := Reversed{Gen: code}
+	if rev.Name() != "code-reversed" {
+		t.Fatalf("Name = %q", rev.Name())
+	}
+	rt := rev.Generate(4, g)
+	ct := code.Generate(4, g)
+	if !reflect.DeepEqual(rt.Windows[0].Refs, ct.Windows[ct.NumWindows()-1].Refs) {
+		t.Fatal("reversed generator window order wrong")
+	}
+}
+
+func TestPaperBenchmarks(t *testing.T) {
+	bs := PaperBenchmarks()
+	if len(bs) != 5 {
+		t.Fatalf("%d benchmarks, want 5", len(bs))
+	}
+	g := grid.Square(4)
+	for _, b := range bs {
+		if b.ID < 1 || b.ID > 5 {
+			t.Errorf("bad benchmark ID %d", b.ID)
+		}
+		tr := b.Gen.Generate(8, g)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("benchmark %d: %v", b.ID, err)
+		}
+		if tr.NumData != 64 {
+			t.Errorf("benchmark %d: data = %d", b.ID, tr.NumData)
+		}
+		if tr.NumWindows() == 0 || tr.NumRefs() == 0 {
+			t.Errorf("benchmark %d is empty", b.ID)
+		}
+	}
+	// Benchmark 5 is CODE followed by its mirror: first window equals
+	// last window.
+	tr5 := bs[4].Gen.Generate(8, g)
+	nw := tr5.NumWindows()
+	if !reflect.DeepEqual(tr5.Windows[0].Refs, tr5.Windows[nw-1].Refs) {
+		t.Error("benchmark 5 is not a palindrome at its endpoints")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"lu", "matsquare", "code", "stencil", "lu+code", "matsquare+code", "code+rcode"} {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if gen.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, gen.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("bogus generator accepted")
+	}
+}
+
+func TestGeneratorsRespectPartition(t *testing.T) {
+	// With a row partition, every reference in LU window 0 must be
+	// issued by the row owner of its iteration.
+	n := 8
+	g := grid.Square(2)
+	m := trace.SquareMatrix(n)
+	tr := LU{Part: RowPartition}.Generate(n, g)
+	// The scaling refs of window 0 come from owners of (i, 0).
+	for _, r := range tr.Windows[0].Refs[:2] {
+		_ = r
+	}
+	// Every proc index must be a legal RowPartition output for some row.
+	valid := map[int]bool{}
+	for i := 0; i < n; i++ {
+		valid[RowPartition(m, g, i, 0)] = true
+	}
+	for _, r := range tr.Windows[0].Refs {
+		if !valid[r.Proc] {
+			t.Fatalf("ref from proc %d not produced by row partition", r.Proc)
+		}
+	}
+}
+
+func BenchmarkGenerateLU32(b *testing.B) {
+	g := grid.Square(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = LU{}.Generate(32, g)
+	}
+}
+
+func BenchmarkGenerateCode32(b *testing.B) {
+	g := grid.Square(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Code{Seed: codeSeed}.Generate(32, g)
+	}
+}

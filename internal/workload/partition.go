@@ -1,0 +1,73 @@
+// Package workload rebuilds the paper's reference-string benchmarks:
+// LU factorization, matrix squaring, the irregular CODE kernel, and
+// their combinations (benchmarks 1-5 of the evaluation), plus a
+// five-point stencil and a generic affine loop-nest tracer for user
+// workloads.
+//
+// A generator performs the paper's first preparation stage — the
+// iteration partition — by mapping every operation of the computation
+// to a processor of the PIM array, and then emits the data reference
+// string of each processor, split into execution windows. The second
+// stage, data scheduling, is the job of the sched package.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// Partition maps an iteration-space point (i, j) over a data matrix to
+// the processor that executes it — the iteration partition of the
+// paper's Section 2.
+type Partition func(m trace.Matrix, g grid.Grid, i, j int) int
+
+// BlockPartition tiles the iteration space into (grid height x grid
+// width) rectangular blocks, block (bi, bj) executing on processor
+// (x=bj, y=bi). This owner-computes layout is the default iteration
+// partition for all built-in generators.
+func BlockPartition(m trace.Matrix, g grid.Grid, i, j int) int {
+	th := (m.Rows + g.Height() - 1) / g.Height()
+	tw := (m.Cols + g.Width() - 1) / g.Width()
+	ti, tj := i/th, j/tw
+	if ti >= g.Height() {
+		ti = g.Height() - 1
+	}
+	if tj >= g.Width() {
+		tj = g.Width() - 1
+	}
+	return g.Index(grid.Coord{X: tj, Y: ti})
+}
+
+// RowPartition assigns iterations by row blocks: consecutive rows go to
+// consecutive processors in linear order.
+func RowPartition(m trace.Matrix, g grid.Grid, i, j int) int {
+	np := g.NumProcs()
+	rowsPer := (m.Rows + np - 1) / np
+	p := i / rowsPer
+	if p >= np {
+		p = np - 1
+	}
+	return p
+}
+
+// CyclicPartition deals iterations round-robin over the processors by
+// row-major iteration index.
+func CyclicPartition(m trace.Matrix, g grid.Grid, i, j int) int {
+	return (i*m.Cols + j) % g.NumProcs()
+}
+
+// PartitionByName returns a built-in partition by its command-line
+// name: "block", "row" or "cyclic".
+func PartitionByName(name string) (Partition, error) {
+	switch name {
+	case "block":
+		return BlockPartition, nil
+	case "row":
+		return RowPartition, nil
+	case "cyclic":
+		return CyclicPartition, nil
+	}
+	return nil, fmt.Errorf("workload: unknown partition %q (want block, row or cyclic)", name)
+}

@@ -1,0 +1,421 @@
+// Package pim is a library for data scheduling on Processor-In-Memory
+// (PIM) arrays, reproducing Tian, Sha, Chantrapornchai and Kogge,
+// "Optimizing Data Scheduling on Processor-In-Memory Arrays"
+// (IPPS 1998).
+//
+// A PIM array is a 2-D mesh of processors with private memories. An
+// application is described by its data reference strings, split into
+// execution windows (Trace). Data scheduling decides where every data
+// item lives in every window so that the total communication cost —
+// x-y-routing distance weighted by transferred volume, plus the cost of
+// moving items between windows — is minimal. The package provides:
+//
+//   - the three schedulers of the paper: SCDS (one center per item for
+//     the whole run), LOMCDS (per-window local-optimal centers) and
+//     GOMCDS (globally optimal center sequences via shortest paths
+//     through per-item cost graphs), all honoring per-processor memory
+//     capacities;
+//   - execution-window grouping (the paper's Algorithm 3) with greedy
+//     and exact variants;
+//   - baseline distributions (row-wise, column-wise, block,
+//     block-cyclic) and workload generators that rebuild the paper's
+//     reference-string benchmarks (LU factorization, matrix squaring,
+//     the irregular CODE kernel and their combinations);
+//   - a discrete-event mesh-interconnect simulator that cross-validates
+//     the analytic cost model and reports execution time in cycles; and
+//   - the experiment harness that regenerates the paper's tables.
+//
+// Quick start:
+//
+//	g := pim.SquareGrid(4)
+//	tr := pim.LU{}.Generate(16, g)
+//	p := pim.NewProblem(tr, pim.PaperCapacity(tr.NumData, g.NumProcs()))
+//	schedule, err := pim.GOMCDS{}.Schedule(p)
+//	if err != nil { ... }
+//	fmt.Println(p.Model.TotalCost(schedule))
+package pim
+
+import (
+	"io"
+
+	"repro/internal/capture"
+	"repro/internal/coarse"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/online"
+	"repro/internal/placement"
+	"repro/internal/plan"
+	"repro/internal/render"
+	"repro/internal/replica"
+	"repro/internal/sched"
+	"repro/internal/segment"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// Topology.
+type (
+	// Grid is a rectangular processor array with x-y routing.
+	Grid = grid.Grid
+	// Coord is a processor position (X column, Y row).
+	Coord = grid.Coord
+)
+
+// NewGrid returns a width x height processor array.
+func NewGrid(width, height int) Grid { return grid.New(width, height) }
+
+// SquareGrid returns an n x n processor array.
+func SquareGrid(n int) Grid { return grid.Square(n) }
+
+// Traces and reference strings.
+type (
+	// Trace is a scheduling problem instance: per-window reference
+	// events over a data space.
+	Trace = trace.Trace
+	// Window is one execution window of a trace.
+	Window = trace.Window
+	// Ref is a single reference event.
+	Ref = trace.Ref
+	// DataID identifies a data item.
+	DataID = trace.DataID
+	// Matrix describes the 2-D logical data array.
+	Matrix = trace.Matrix
+	// Interval is a half-open range of window indices.
+	Interval = trace.Interval
+)
+
+// NewTrace returns an empty trace over the array and data space.
+func NewTrace(g Grid, numData int) *Trace { return trace.New(g, numData) }
+
+// SquareMatrix returns an n x n data array descriptor.
+func SquareMatrix(n int) Matrix { return trace.SquareMatrix(n) }
+
+// ConcatTraces chains traces over the same grid and data space.
+func ConcatTraces(traces ...*Trace) *Trace { return trace.Concat(traces...) }
+
+// EncodeTrace writes a trace in the pimtrace text format.
+func EncodeTrace(w io.Writer, t *Trace) error { return trace.Encode(w, t) }
+
+// DecodeTrace parses a trace from the pimtrace text format.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// Cost model and schedules.
+type (
+	// Model evaluates schedules against a trace.
+	Model = cost.Model
+	// Schedule assigns a center to every item in every window.
+	Schedule = cost.Schedule
+	// Breakdown splits a schedule's cost into residence and movement.
+	Breakdown = cost.Breakdown
+)
+
+// NewModel builds a cost model for a trace.
+func NewModel(t *Trace) *Model { return cost.NewModel(t) }
+
+// UniformSchedule keeps one assignment for all windows (no movement).
+func UniformSchedule(assign []int, numWindows int) Schedule {
+	return cost.Uniform(assign, numWindows)
+}
+
+// Schedulers.
+type (
+	// Problem is a prepared scheduling instance (model + residence
+	// table + capacity).
+	Problem = sched.Problem
+	// Scheduler computes data schedules.
+	Scheduler = sched.Scheduler
+	// SCDS is single-center data scheduling (Algorithm 1).
+	SCDS = sched.SCDS
+	// LOMCDS is local-optimal multiple-center data scheduling.
+	LOMCDS = sched.LOMCDS
+	// GOMCDS is global-optimal multiple-center data scheduling
+	// (Algorithm 2).
+	GOMCDS = sched.GOMCDS
+	// Fixed wraps a static assignment as a Scheduler.
+	Fixed = sched.Fixed
+)
+
+// NewProblem prepares a scheduling instance. capacity is the
+// per-processor memory in items; 0 or less means unbounded.
+func NewProblem(t *Trace, capacity int) *Problem { return sched.NewProblem(t, capacity) }
+
+// NewProblemFromModel wraps a caller-tuned model (e.g. custom
+// DataSize) into a Problem.
+func NewProblemFromModel(m *Model, capacity int) *Problem {
+	return sched.NewProblemFromModel(m, capacity)
+}
+
+// SchedulerByName resolves "scds", "lomcds" or "gomcds".
+func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// Baseline placements and the capacity model.
+type (
+	// Assignment maps data items to processors for one window.
+	Assignment = placement.Assignment
+)
+
+// RowWise is the straightforward row-major distribution (the paper's
+// "S.F." baseline).
+func RowWise(m Matrix, g Grid) Assignment { return placement.RowWise(m, g) }
+
+// ColumnWise is the column-major distribution.
+func ColumnWise(m Matrix, g Grid) Assignment { return placement.ColumnWise(m, g) }
+
+// Block2D is the 2-D block (tile) distribution.
+func Block2D(m Matrix, g Grid) Assignment { return placement.Block2D(m, g) }
+
+// BlockCyclic2D is the 2-D block-cyclic distribution.
+func BlockCyclic2D(m Matrix, g Grid, blockSize int) Assignment {
+	return placement.BlockCyclic2D(m, g, blockSize)
+}
+
+// Cyclic deals items round-robin over processors.
+func Cyclic(numData int, g Grid) Assignment { return placement.Cyclic(numData, g) }
+
+// MinCapacity is the smallest per-processor memory holding all items.
+func MinCapacity(numData, numProcs int) int { return placement.MinCapacity(numData, numProcs) }
+
+// PaperCapacity is the paper's experimental memory size: twice the
+// minimum.
+func PaperCapacity(numData, numProcs int) int { return placement.PaperCapacity(numData, numProcs) }
+
+// Execution-window grouping (the paper's Algorithm 3).
+type (
+	// Grouping is a per-item partition of the window sequence.
+	Grouping = window.Grouping
+	// GroupingMethod selects how group centers are computed.
+	GroupingMethod = window.Method
+)
+
+// Grouping center methods.
+const (
+	// LocalCenters places each group at its local-optimal center.
+	LocalCenters = window.LocalCenters
+	// GlobalCenters chooses group centers by a global shortest path.
+	GlobalCenters = window.GlobalCenters
+)
+
+// GreedyGrouping runs Algorithm 3 (strict-improvement acceptance).
+func GreedyGrouping(p *Problem, m GroupingMethod) Grouping { return window.Greedy(p, m) }
+
+// GreedyGroupingAcceptEqual runs Algorithm 3 with its literal
+// accept-on-equal rule.
+func GreedyGroupingAcceptEqual(p *Problem, m GroupingMethod) Grouping {
+	return window.GreedyAcceptEqual(p, m)
+}
+
+// OptimalGrouping computes the exact minimum-cost partition per item.
+func OptimalGrouping(p *Problem) Grouping { return window.Optimal(p) }
+
+// GroupSchedule converts a grouping into a per-window schedule.
+func GroupSchedule(p *Problem, grp Grouping, m GroupingMethod) (Schedule, error) {
+	return window.Schedule(p, grp, m)
+}
+
+// Workload generators.
+type (
+	// Generator produces benchmark traces.
+	Generator = workload.Generator
+	// LU is right-looking LU factorization (benchmark 1).
+	LU = workload.LU
+	// MatSquare computes the square of a matrix (benchmark 2).
+	MatSquare = workload.MatSquare
+	// Code is the irregular CODE kernel stand-in.
+	Code = workload.Code
+	// Stencil is a five-point stencil sweep.
+	Stencil = workload.Stencil
+	// AffineNest traces generic affine loop nests.
+	AffineNest = workload.AffineNest
+	// Access is one affine array access of an AffineNest.
+	Access = workload.Access
+	// Benchmark is one row family of the paper's tables.
+	Benchmark = workload.Benchmark
+	// IterationPartition maps iterations to processors.
+	IterationPartition = workload.Partition
+)
+
+// PaperBenchmarks returns the five benchmarks of the evaluation.
+func PaperBenchmarks() []Benchmark { return workload.PaperBenchmarks() }
+
+// GeneratorByName resolves a built-in generator ("lu", "matsquare",
+// "code", "stencil", or a combined benchmark name).
+func GeneratorByName(name string) (Generator, error) { return workload.ByName(name) }
+
+// Interconnect simulation.
+type (
+	// SimOptions configures the mesh simulator.
+	SimOptions = sim.Options
+	// SimResult aggregates one simulation run.
+	SimResult = sim.Result
+	// Simulator is a reusable mesh simulator.
+	Simulator = sim.Simulator
+)
+
+// Simulate runs a schedule through the mesh interconnect simulator.
+func Simulate(t *Trace, s Schedule, opts SimOptions) (SimResult, error) {
+	return sim.Simulate(t, s, opts)
+}
+
+// NewSimulator returns a reusable simulator for the array.
+func NewSimulator(g Grid, opts SimOptions) *Simulator { return sim.New(g, opts) }
+
+// Experiment harness.
+type (
+	// ExperimentConfig fixes the experimental setup.
+	ExperimentConfig = experiments.Config
+	// ExperimentRow is one row of Table 1 or 2.
+	ExperimentRow = experiments.Row
+)
+
+// DefaultExperimentConfig is the paper's setup (4x4 array; 8, 16, 32;
+// memory twice the minimum).
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// Table1 regenerates the paper's Table 1 (costs before grouping).
+func Table1(cfg ExperimentConfig) ([]ExperimentRow, error) { return experiments.Table1(cfg) }
+
+// Table2 regenerates the paper's Table 2 (costs after grouping).
+func Table2(cfg ExperimentConfig) ([]ExperimentRow, error) { return experiments.Table2(cfg) }
+
+// --- Extensions beyond the paper's core model ---
+
+// Exact capacitated assignment (min-cost-flow) schedulers.
+type (
+	// ExactSCDS is SCDS with the capacitated assignment solved exactly.
+	ExactSCDS = sched.ExactSCDS
+	// ExactLOMCDS is LOMCDS with each window's assignment solved
+	// exactly.
+	ExactLOMCDS = sched.ExactLOMCDS
+)
+
+// Online (run-time) scheduling.
+type (
+	// OnlineScheduler decides placements one window at a time.
+	OnlineScheduler = online.Scheduler
+	// OnlinePolicy selects the online decision rule.
+	OnlinePolicy = online.Policy
+)
+
+// Online policies.
+const (
+	// StayPut keeps the initial placement forever.
+	StayPut = online.StayPut
+	// Chase moves to every window's local-optimal center.
+	Chase = online.Chase
+	// Hysteresis moves once staying has cost as much as moving.
+	Hysteresis = online.Hysteresis
+)
+
+// Replication (multi-copy) scheduling.
+type (
+	// ReplicaSchedule holds one copy set per item per window.
+	ReplicaSchedule = replica.Schedule
+	// ReplicaGreedy is the replication-aware greedy scheduler.
+	ReplicaGreedy = replica.Greedy
+	// ReplicaBreakdown splits a replicated schedule's cost.
+	ReplicaBreakdown = replica.Breakdown
+)
+
+// EvaluateReplicas returns the cost of a replicated schedule.
+func EvaluateReplicas(p *Problem, s ReplicaSchedule) ReplicaBreakdown {
+	return replica.Evaluate(p, s)
+}
+
+// ReplicasFromSingle lifts a single-copy schedule into the replicated
+// representation.
+func ReplicasFromSingle(centers [][]int) ReplicaSchedule { return replica.FromSingle(centers) }
+
+// Trace capture.
+type (
+	// Recorder collects reference events from an instrumented
+	// application and produces a Trace.
+	Recorder = capture.Recorder
+)
+
+// NewRecorder returns a trace recorder for the array and data space.
+func NewRecorder(g Grid, numData int) *Recorder { return capture.NewRecorder(g, numData) }
+
+// Statistics and rendering.
+type (
+	// ScheduleStats summarizes a schedule (locality, movement,
+	// occupancy balance).
+	ScheduleStats = stats.ScheduleStats
+	// TraceStats summarizes a trace (sharing degree, reuse distance).
+	TraceStats = stats.TraceStats
+)
+
+// ComputeStats derives schedule statistics.
+func ComputeStats(p *Problem, s Schedule) ScheduleStats { return stats.Compute(p, s) }
+
+// ComputeTraceStats derives trace statistics.
+func ComputeTraceStats(t *Trace) TraceStats { return stats.ComputeTrace(t) }
+
+// Heatmap renders per-processor values as a text heatmap.
+func Heatmap(g Grid, values []int64, title string) string { return render.Heatmap(g, values, title) }
+
+// Routing disciplines for the simulator.
+const (
+	// RouteXY routes x first, then y (the paper's assumption).
+	RouteXY = sim.RouteXY
+	// RouteYX routes y first, then x.
+	RouteYX = sim.RouteYX
+	// RouteBalanced alternates XY and YX per message.
+	RouteBalanced = sim.RouteBalanced
+)
+
+// Window segmentation from flat reference streams.
+type (
+	// SegmentOptions tunes phase detection.
+	SegmentOptions = segment.Options
+)
+
+// SegmentFixed splits a flat event stream into fixed-size windows.
+func SegmentFixed(g Grid, numData int, refs []Ref, perWindow int) *Trace {
+	return segment.FixedSize(g, numData, refs, perWindow)
+}
+
+// SegmentPhases splits a flat event stream at working-set shifts.
+func SegmentPhases(g Grid, numData int, refs []Ref, opts SegmentOptions) *Trace {
+	return segment.PhaseDetect(g, numData, refs, opts)
+}
+
+// FlattenTrace discards window boundaries, returning the event stream.
+func FlattenTrace(t *Trace) []Ref { return segment.Flatten(t) }
+
+// Multilevel (coarse-grained) scheduling.
+type (
+	// CoarseMap aggregates data items into blocks.
+	CoarseMap = coarse.Map
+)
+
+// TileMatrix partitions a data matrix into tile x tile blocks.
+func TileMatrix(m Matrix, tile int) CoarseMap { return coarse.TileMatrix(m, tile) }
+
+// CoarsenTrace rewrites a trace over blocks.
+func CoarsenTrace(t *Trace, m CoarseMap) (*Trace, error) { return coarse.Coarsen(t, m) }
+
+// ExpandSchedule turns a block-level schedule into an item-level one.
+func ExpandSchedule(s Schedule, m CoarseMap) Schedule { return coarse.Expand(s, m) }
+
+// Communication plans (lowered schedules).
+type (
+	// Plan is the executable communication plan of a schedule.
+	Plan = plan.Plan
+	// PlanMessage is one point-to-point transfer.
+	PlanMessage = plan.Message
+	// PlanPhase is one window's traffic.
+	PlanPhase = plan.Phase
+)
+
+// BuildPlan lowers a schedule into a communication plan.
+func BuildPlan(t *Trace, s Schedule) (*Plan, error) { return plan.Build(t, s) }
+
+// EncodePlan writes a plan in the pimplan text format.
+func EncodePlan(w io.Writer, p *Plan) error { return plan.Encode(w, p) }
+
+// DecodePlan parses a plan from the pimplan text format.
+func DecodePlan(r io.Reader) (*Plan, error) { return plan.Decode(r) }

@@ -1,0 +1,236 @@
+package pim_test
+
+import (
+	"bytes"
+	"testing"
+
+	pim "repro"
+)
+
+// The facade's quick-start path: generate, schedule, evaluate.
+func TestFacadeQuickstart(t *testing.T) {
+	g := pim.SquareGrid(4)
+	tr := pim.LU{}.Generate(8, g)
+	p := pim.NewProblem(tr, pim.PaperCapacity(tr.NumData, g.NumProcs()))
+
+	base, err := (pim.Fixed{Label: "S.F.", Assign: pim.RowWise(pim.SquareMatrix(8), g)}).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := pim.GOMCDS{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.TotalCost(best) >= p.Model.TotalCost(base) {
+		t.Fatalf("GOMCDS %d did not beat row-wise %d",
+			p.Model.TotalCost(best), p.Model.TotalCost(base))
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	g := pim.NewGrid(3, 2)
+	tr := pim.NewTrace(g, 4)
+	w := tr.AddWindow()
+	w.Add(0, 1)
+	w.AddVolume(5, 3, 2)
+
+	var buf bytes.Buffer
+	if err := pim.EncodeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pim.DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRefs() != 2 || got.NumData != 4 {
+		t.Fatalf("round trip lost data: %d refs, %d items", got.NumRefs(), got.NumData)
+	}
+}
+
+func TestFacadeGroupingFlow(t *testing.T) {
+	g := pim.SquareGrid(4)
+	tr := pim.Code{Seed: 5}.Generate(8, g)
+	p := pim.NewProblem(tr, 0)
+	grp := pim.GreedyGrouping(p, pim.LocalCenters)
+	grouped, err := pim.GroupSchedule(p, grp, pim.LocalCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := pim.LOMCDS{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.TotalCost(grouped) > p.Model.TotalCost(plain) {
+		t.Fatalf("grouping raised cost: %d > %d",
+			p.Model.TotalCost(grouped), p.Model.TotalCost(plain))
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	g := pim.SquareGrid(4)
+	tr := pim.MatSquare{}.Generate(8, g)
+	p := pim.NewProblem(tr, 0)
+	s, err := pim.SCDS{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pim.Simulate(tr, s, pim.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlitHops != p.Model.TotalCost(s) {
+		t.Fatalf("flit-hops %d != analytic %d", res.FlitHops, p.Model.TotalCost(s))
+	}
+}
+
+func TestFacadeLookups(t *testing.T) {
+	if _, err := pim.SchedulerByName("gomcds"); err != nil {
+		t.Error(err)
+	}
+	if _, err := pim.GeneratorByName("lu"); err != nil {
+		t.Error(err)
+	}
+	if len(pim.PaperBenchmarks()) != 5 {
+		t.Error("benchmark registry wrong")
+	}
+	if pim.MinCapacity(64, 16) != 4 || pim.PaperCapacity(64, 16) != 8 {
+		t.Error("capacity helpers wrong")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	cfg := pim.DefaultExperimentConfig()
+	cfg.Sizes = []int{8}
+	rows, err := pim.Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	rows2, err := pim.Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 5 {
+		t.Fatalf("table 2 rows = %d", len(rows2))
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	g := pim.SquareGrid(4)
+	tr := pim.MatSquare{}.Generate(8, g)
+	p := pim.NewProblem(tr, pim.PaperCapacity(tr.NumData, g.NumProcs()))
+
+	// Online policies.
+	on, err := (pim.OnlineScheduler{Policy: pim.Hysteresis}).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := pim.GOMCDS{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.TotalCost(on) < p.Model.TotalCost(off) {
+		t.Error("online beat the offline optimum")
+	}
+
+	// Exact assignment.
+	if _, err := (pim.ExactSCDS{}).Schedule(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replication.
+	rs, err := (pim.ReplicaGreedy{MaxCopies: 2}).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pim.EvaluateReplicas(p, rs).Total() <= 0 {
+		t.Error("replicated schedule has no cost on a remote-heavy trace")
+	}
+	lifted := pim.ReplicasFromSingle(off.Centers)
+	if pim.EvaluateReplicas(p, lifted).Total() != p.Model.TotalCost(off) {
+		t.Error("single-copy lift does not match model cost")
+	}
+
+	// Stats + rendering.
+	st := pim.ComputeStats(p, off)
+	if st.TotalVolume == 0 {
+		t.Error("stats saw no volume")
+	}
+	ts := pim.ComputeTraceStats(tr)
+	if ts.SharingDegree <= 1 {
+		t.Error("matrix square should share operands")
+	}
+	if pim.Heatmap(g, make([]int64, 16), "x") == "" {
+		t.Error("heatmap empty")
+	}
+
+	// Capture.
+	rec := pim.NewRecorder(g, 4)
+	rec.Touch(0, 1)
+	rec.Barrier()
+	if rec.Finish().NumRefs() != 1 {
+		t.Error("recorder lost events")
+	}
+
+	// Routing-aware simulation.
+	res, err := pim.Simulate(tr, off, pim.SimOptions{Routing: pim.RouteBalanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlitHops != p.Model.TotalCost(off) {
+		t.Error("balanced routing changed flit-hops")
+	}
+}
+
+func TestFacadePlanSegmentCoarse(t *testing.T) {
+	g := pim.SquareGrid(4)
+	tr := pim.LU{}.Generate(8, g)
+	p := pim.NewProblem(tr, 0)
+	s, err := pim.SCDS{}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plans.
+	pl, err := pim.BuildPlan(tr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.FlitHops() != p.Model.TotalCost(s) {
+		t.Error("plan flit-hops mismatch")
+	}
+	var buf bytes.Buffer
+	if err := pim.EncodePlan(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pim.DecodePlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Segmentation round trip.
+	refs := pim.FlattenTrace(tr)
+	if got := pim.SegmentFixed(g, tr.NumData, refs, 100).NumRefs(); got != len(refs) {
+		t.Errorf("SegmentFixed lost refs: %d vs %d", got, len(refs))
+	}
+	if pim.SegmentPhases(g, tr.NumData, refs, pim.SegmentOptions{}).NumRefs() != len(refs) {
+		t.Error("SegmentPhases lost refs")
+	}
+
+	// Coarsening round trip.
+	tm := pim.TileMatrix(pim.SquareMatrix(8), 2)
+	ct, err := pim.CoarsenTrace(tr, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := pim.NewProblem(ct, 0)
+	cs, err := pim.GOMCDS{}.Schedule(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := pim.ExpandSchedule(cs, tm)
+	if err := fine.Validate(g, tr.NumData, tr.NumWindows()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package pim_test
+
+import (
+	"bytes"
+	"testing"
+
+	pim "repro"
+)
+
+// TestFullPipeline drives the whole system end to end, the way a
+// downstream user would compose it:
+//
+//	instrumented program (Recorder) -> flat stream -> phase detection
+//	-> scheduling -> window grouping -> plan lowering -> codec round
+//	trip -> interconnect simulation -> statistics
+//
+// and checks the cross-component invariants at every joint.
+func TestFullPipeline(t *testing.T) {
+	g := pim.SquareGrid(4)
+	const items = 64
+
+	// 1. Capture a two-phase application: a stencil-like sweep over the
+	// lower half of the items, then a reduction into one corner over
+	// the upper half.
+	rec := pim.NewRecorder(g, items)
+	for step := 0; step < 6; step++ {
+		for d := 0; d < items/2; d++ {
+			proc := (d + step) % g.NumProcs()
+			rec.TouchVolume(proc, pim.DataID(d), 2)
+		}
+		rec.Barrier()
+	}
+	for step := 0; step < 6; step++ {
+		for d := items / 2; d < items; d++ {
+			rec.Touch(15, pim.DataID(d))
+		}
+		rec.Barrier()
+	}
+	captured := rec.Finish()
+	if captured.NumWindows() != 12 {
+		t.Fatalf("captured %d windows", captured.NumWindows())
+	}
+
+	// 2. Flatten and re-segment: phase detection must recover a split
+	// at the application's phase boundary (not necessarily the exact
+	// barrier structure, but more than one window and no lost events).
+	refs := pim.FlattenTrace(captured)
+	segmented := pim.SegmentPhases(g, items, refs, pim.SegmentOptions{ChunkSize: len(refs) / 12})
+	if segmented.NumRefs() != len(refs) {
+		t.Fatalf("segmentation lost events: %d vs %d", segmented.NumRefs(), len(refs))
+	}
+	if segmented.NumWindows() < 2 {
+		t.Fatalf("phase detection found %d windows", segmented.NumWindows())
+	}
+
+	// 3. Trace codec round trip.
+	var tbuf bytes.Buffer
+	if err := pim.EncodeTrace(&tbuf, segmented); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pim.DecodeTrace(&tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Schedule with every core algorithm under the paper capacity.
+	capacity := pim.PaperCapacity(items, g.NumProcs())
+	p := pim.NewProblem(loaded, capacity)
+	costs := map[string]int64{}
+	schedules := map[string]pim.Schedule{}
+	for _, s := range []pim.Scheduler{pim.SCDS{}, pim.LOMCDS{}, pim.GOMCDS{}} {
+		sc, err := s.Schedule(p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		costs[s.Name()] = p.Model.TotalCost(sc)
+		schedules[s.Name()] = sc
+	}
+	if costs["GOMCDS"] > costs["LOMCDS"] || costs["GOMCDS"] > costs["SCDS"] {
+		t.Fatalf("scheduler ordering violated: %v", costs)
+	}
+
+	// 5. Grouping on top of LOMCDS must not regress.
+	grp := pim.GreedyGrouping(p, pim.LocalCenters)
+	grouped, err := pim.GroupSchedule(p, grp, pim.LocalCenters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, l := p.Model.TotalCost(grouped), costs["LOMCDS"]; g > l {
+		t.Fatalf("grouping regressed: %d > %d", g, l)
+	}
+
+	// 6. Lower the best schedule to a plan, round-trip it through the
+	// codec, and verify the plan realizes the analytic cost.
+	best := schedules["GOMCDS"]
+	pl, err := pim.BuildPlan(loaded, best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pbuf bytes.Buffer
+	if err := pim.EncodePlan(&pbuf, pl); err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := pim.DecodePlan(&pbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.FlitHops() != costs["GOMCDS"] {
+		t.Fatalf("plan flit-hops %d != analytic %d", pl2.FlitHops(), costs["GOMCDS"])
+	}
+
+	// 7. Simulate baseline and best; the better schedule must win in
+	// both flit-hops (exactly the analytic costs) and makespan.
+	baseline, err := (pim.Fixed{
+		Label:  "cyclic",
+		Assign: pim.Cyclic(items, g),
+	}).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := pim.Simulate(loaded, baseline, pim.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBest, err := pim.Simulate(loaded, best, pim.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBest.FlitHops != costs["GOMCDS"] {
+		t.Fatalf("simulated flit-hops %d != analytic %d", rBest.FlitHops, costs["GOMCDS"])
+	}
+	if rBest.FlitHops >= rBase.FlitHops || rBest.Cycles > rBase.Cycles {
+		t.Fatalf("GOMCDS (%d hops, %d cycles) did not beat cyclic (%d hops, %d cycles)",
+			rBest.FlitHops, rBest.Cycles, rBase.FlitHops, rBase.Cycles)
+	}
+
+	// 8. Statistics: the reduction phase makes item sharing visible and
+	// GOMCDS keeps a healthy local-service fraction.
+	st := pim.ComputeStats(p, best)
+	if st.TotalVolume == 0 || st.Locality() <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.MaxOccupancy > capacity {
+		t.Fatalf("occupancy %d exceeds capacity %d", st.MaxOccupancy, capacity)
+	}
+}
