@@ -7,6 +7,7 @@
 //	pimbench -table sweep -n 16       # window-granularity sweep
 //	pimbench -table sim -n 16         # simulated execution time (E5)
 //	pimbench -table all               # everything above
+//	pimbench -table 1 -verify         # referee every schedule independently
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
@@ -36,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	sizesSpec := fs.String("sizes", "8,16,32", "data matrix dimensions")
 	capFactor := fs.Int("capacity", 2, "memory capacity as a multiple of the minimum")
 	n := fs.Int("n", 16, "data size for the sweep and sim artifacts")
+	doVerify := fs.Bool("verify", false, "run every schedule through the independent referee (invariants + from-scratch cost recomputation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,13 +51,24 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Grid: g, Sizes: sizes, CapacityFactor: *capFactor}
+	cfg := experiments.Config{Grid: g, Sizes: sizes, CapacityFactor: *capFactor, Verify: *doVerify}
 
 	want := func(name string) bool { return *table == name || *table == "all" }
 	ran := false
+	// The referee hooks live in Table1/Table2/SimStudy; the extension
+	// studies ignore Config.Verify, so the attestation must not cover
+	// them.
+	refereed := false
+	var unrefereed []string
+	noReferee := func(name string) {
+		if *doVerify {
+			unrefereed = append(unrefereed, name)
+		}
+	}
 
 	if want("example") {
 		ran = true
+		noReferee("example")
 		res, err := experiments.Example331()
 		if err != nil {
 			return err
@@ -64,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("1") {
 		ran = true
+		refereed = true
 		rows, err := experiments.Table1(cfg)
 		if err != nil {
 			return err
@@ -75,6 +90,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("2") {
 		ran = true
+		refereed = true
 		rows, err := experiments.Table2(cfg)
 		if err != nil {
 			return err
@@ -86,6 +102,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("ablation") {
 		ran = true
+		noReferee("ablation")
 		rows, err := experiments.GroupingAblation(cfg)
 		if err != nil {
 			return err
@@ -103,6 +120,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("sweep") {
 		ran = true
+		noReferee("sweep")
 		rows, err := experiments.WindowSweep(cfg, *n, []int{1, 2, 4, 8})
 		if err != nil {
 			return err
@@ -119,6 +137,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("sim") {
 		ran = true
+		refereed = true
 		rows, err := experiments.SimStudy(cfg, *n, sim.Options{})
 		if err != nil {
 			return err
@@ -131,6 +150,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("online") {
 		ran = true
+		noReferee("online")
 		rows, err := experiments.OnlineStudy(cfg, *n)
 		if err != nil {
 			return err
@@ -143,6 +163,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("replica") {
 		ran = true
+		noReferee("replica")
 		rows, err := experiments.ReplicationStudy(cfg, *n, []int{1, 2, 4})
 		if err != nil {
 			return err
@@ -155,6 +176,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("exact") {
 		ran = true
+		noReferee("exact")
 		rows, err := experiments.ExactAssignmentStudy(cfg, *n, []int{1, 2, 4})
 		if err != nil {
 			return err
@@ -167,6 +189,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("scaling") {
 		ran = true
+		noReferee("scaling")
 		grids := []grid.Grid{grid.Square(2), grid.Square(4), grid.New(8, 4), grid.Square(8)}
 		rows, err := experiments.ScalingStudy(*n, grids, *capFactor)
 		if err != nil {
@@ -180,6 +203,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("coarse") {
 		ran = true
+		noReferee("coarse")
 		rows, err := experiments.CoarseningStudy(cfg, *n, []int{1, 2, 4})
 		if err != nil {
 			return err
@@ -192,6 +216,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown artifact %q (want 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse or all)", *table)
+	}
+	if *doVerify {
+		if len(unrefereed) > 0 {
+			fmt.Fprintf(out, "verify: no referee hooks for %s; -verify covers tables 1, 2 and sim\n",
+				strings.Join(unrefereed, ", "))
+		}
+		if refereed {
+			fmt.Fprintln(out, "verify: all schedules passed invariant + independent cost checks")
+		}
 	}
 	return nil
 }

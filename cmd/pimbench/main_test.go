@@ -67,3 +67,40 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyFlag runs Table 1 with the independent referee enabled:
+// every schedule is invariant-checked and its model cost re-derived
+// from scratch, and the run attests success at the end.
+func TestVerifyFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "1", "-sizes", "8", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 1") {
+		t.Errorf("table missing:\n%s", s)
+	}
+	if !strings.Contains(s, "verify: all schedules passed invariant + independent cost checks") {
+		t.Errorf("verification attestation missing:\n%s", s)
+	}
+	if strings.Contains(s, "no referee hooks") {
+		t.Errorf("table 1 is fully refereed, unexpected caveat:\n%s", s)
+	}
+}
+
+// TestVerifyFlagUnrefereedArtifact: the extension studies carry no
+// referee hooks, so -verify must disclose that instead of printing a
+// blanket attestation it cannot back.
+func TestVerifyFlagUnrefereedArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "scaling", "-n", "8", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "verify: no referee hooks for scaling") {
+		t.Errorf("unrefereed caveat missing:\n%s", s)
+	}
+	if strings.Contains(s, "all schedules passed") {
+		t.Errorf("attestation printed for unrefereed artifact:\n%s", s)
+	}
+}

@@ -8,6 +8,12 @@
 // Schedule a trace file with all schedulers and window grouping:
 //
 //	pimsched -in app.trace -sched all -group
+//
+// Re-check every emitted schedule with the independent referee
+// (structural invariants plus a from-scratch cost recomputation that
+// must agree with the cost model exactly):
+//
+//	pimsched -gen lu -n 16 -sched all -verify
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/verify"
 	"repro/internal/window"
 	"repro/internal/workload"
 )
@@ -48,8 +55,13 @@ func run(args []string, out io.Writer) error {
 	showStats := fs.Bool("stats", false, "print schedule statistics (locality, movement, occupancy)")
 	heatmap := fs.Int("heatmap", -1, "render reference-density and occupancy heatmaps for this window")
 	planOut := fs.String("plan", "", "write the last scheduler's lowered communication plan to this file")
+	doVerify := fs.Bool("verify", false, "re-check every schedule with the independent referee (invariants + from-scratch cost recomputation)")
+	injectCorrupt := fs.Bool("inject-corrupt", false, "deliberately corrupt schedules before -verify runs (referee self-test; must fail)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *injectCorrupt && !*doVerify {
+		return fmt.Errorf("-inject-corrupt requires -verify")
 	}
 
 	t, err := loadTrace(*in, *gen, *n, *gridSpec)
@@ -80,6 +92,28 @@ func run(args []string, out io.Writer) error {
 	var lastSchedule cost.Schedule
 	var lastName string
 
+	// referee re-checks a schedule against the claimed breakdown using
+	// the table-independent verifier; -inject-corrupt perturbs the
+	// schedule first so the divergence path is exercised end to end.
+	verified := 0
+	referee := func(name string, sc cost.Schedule, bd cost.Breakdown) error {
+		if !*doVerify {
+			return nil
+		}
+		if *injectCorrupt {
+			sc = corrupted(sc, t.Grid.NumProcs())
+		}
+		if err := verify.Check(t, sc, capacity); err != nil {
+			return fmt.Errorf("verify %s: %v", name, err)
+		}
+		claim := verify.Breakdown{Residence: bd.Residence, Move: bd.Move}
+		if err := verify.CrossCheck(t, sc, p.Model.DataSize, claim); err != nil {
+			return fmt.Errorf("verify %s: %v", name, err)
+		}
+		verified++
+		return nil
+	}
+
 	tbl := report.NewTable("Total communication cost",
 		"scheduler", "residence", "movement", "total", "improvement%")
 
@@ -92,6 +126,9 @@ func run(args []string, out io.Writer) error {
 	}
 	baseCost := p.Model.TotalCost(baseSched)
 	b := p.Model.Evaluate(baseSched)
+	if err := referee(baseName, baseSched, b); err != nil {
+		return err
+	}
 	tbl.AddF(baseName, b.Residence, b.Move, b.Total(), 0.0)
 
 	for _, s := range schedulers {
@@ -115,11 +152,17 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %v", s.Name(), err)
 		}
 		bd := p.Model.Evaluate(schedule)
+		if err := referee(name, schedule, bd); err != nil {
+			return err
+		}
 		tbl.AddF(name, bd.Residence, bd.Move, bd.Total(), report.Improvement(baseCost, bd.Total()))
 		lastSchedule, lastName = schedule, name
 	}
 	if err := tbl.Render(out); err != nil {
 		return err
+	}
+	if *doVerify {
+		fmt.Fprintf(out, "\nverify: %d schedules passed invariant + independent cost checks\n", verified)
 	}
 	if *showStats {
 		st := stats.Compute(p, lastSchedule)
@@ -182,6 +225,18 @@ func loadTrace(in, gen string, n int, gridSpec string) (*trace.Trace, error) {
 		return nil, err
 	}
 	return generator.Generate(n, g), nil
+}
+
+// corrupted returns a copy of the schedule with the first item's
+// window-0 center displaced to the next processor — the minimal
+// corruption the referee must catch (its claimed cost no longer matches
+// the recomputation, or the center leaves a full processor's memory).
+func corrupted(sc cost.Schedule, numProcs int) cost.Schedule {
+	c := sc.Clone()
+	if len(c.Centers) > 0 && len(c.Centers[0]) > 0 && numProcs > 1 {
+		c.Centers[0][0] = (c.Centers[0][0] + 1) % numProcs
+	}
+	return c
 }
 
 // baseline picks the straightforward distribution: row-wise when the

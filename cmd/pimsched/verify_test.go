@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// capturedTraceFile records a small two-window SPMD run through the
+// capture.Recorder instrumentation front end and writes it out as a
+// trace file, exactly as a downstream user would produce pimsched
+// input.
+func capturedTraceFile(t *testing.T) string {
+	t.Helper()
+	r := capture.NewRecorder(grid.Square(2), 4)
+	r.TouchVolume(0, 0, 2)
+	r.Touch(1, 1)
+	r.Touch(3, 2)
+	r.Touch(2, 3)
+	r.Barrier()
+	r.Touch(2, 0)
+	r.TouchVolume(3, 1, 3)
+	r.Touch(1, 3)
+	tr := r.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "captured.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestVerifyGoldenOutput pins the full pimsched -verify output on the
+// captured trace: the referee must attest all four schedules and the
+// numbers must stay exactly as recorded.
+func TestVerifyGoldenOutput(t *testing.T) {
+	path := capturedTraceFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-sched", "all", "-capacity", "0", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `trace: 2x2 array, 4 items, 2 windows, 7 refs; capacity 0/processor
+
+Total communication cost
+scheduler  residence  movement  total  improvement%
+---------  ---------  --------  -----  ------------
+row-wise   7          0         7      0.0
+SCDS       4          0         4      42.9
+LOMCDS     0          4         4      42.9
+GOMCDS     3          1         4      42.9
+
+verify: 4 schedules passed invariant + independent cost checks
+`
+	if out.String() != golden {
+		t.Errorf("output diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestVerifyCatchesInjectedCorruption pins the failure path: with
+// -inject-corrupt the referee must reject the very first schedule with
+// a divergence report naming both cost claims.
+func TestVerifyCatchesInjectedCorruption(t *testing.T) {
+	path := capturedTraceFile(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-sched", "all", "-capacity", "0", "-verify", "-inject-corrupt"}, &out)
+	if err == nil {
+		t.Fatal("corrupted schedule passed verification")
+	}
+	const goldenErr = `verify row-wise: verify: cost divergence: model claims residence 7 + movement 0 = 7, independent recomputation gives residence 9 + movement 1 = 10`
+	if err.Error() != goldenErr {
+		t.Errorf("error diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", err.Error(), goldenErr)
+	}
+	if strings.Contains(out.String(), "verify:") {
+		t.Errorf("success line printed despite corruption:\n%s", out.String())
+	}
+}
+
+// TestInjectCorruptRequiresVerify guards the flag pairing.
+func TestInjectCorruptRequiresVerify(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "lu", "-n", "8", "-inject-corrupt"}, &out); err == nil {
+		t.Fatal("-inject-corrupt without -verify accepted")
+	}
+}

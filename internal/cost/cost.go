@@ -46,6 +46,36 @@ func Uniform(assign []int, numWindows int) Schedule {
 	return Schedule{Centers: centers}
 }
 
+// Clone returns a deep copy of the schedule, so callers can perturb or
+// archive one side without aliasing the other.
+func (s Schedule) Clone() Schedule {
+	centers := make([][]int, len(s.Centers))
+	for w, row := range s.Centers {
+		centers[w] = make([]int, len(row))
+		copy(centers[w], row)
+	}
+	return Schedule{Centers: centers}
+}
+
+// Equal reports whether two schedules place every item identically in
+// every window.
+func (s Schedule) Equal(o Schedule) bool {
+	if len(s.Centers) != len(o.Centers) {
+		return false
+	}
+	for w, row := range s.Centers {
+		if len(row) != len(o.Centers[w]) {
+			return false
+		}
+		for d, c := range row {
+			if c != o.Centers[w][d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Validate checks that the schedule has one center per data item per
 // window and that all centers are processors of the array.
 func (s Schedule) Validate(g grid.Grid, numData, numWindows int) error {

@@ -283,3 +283,24 @@ func BenchmarkTotalCost(b *testing.B) {
 		_ = m.TotalCost(s)
 	}
 }
+
+func TestScheduleCloneAndEqual(t *testing.T) {
+	s := Schedule{Centers: [][]int{{0, 1}, {2, 3}}}
+	c := s.Clone()
+	if !s.Equal(c) || !c.Equal(s) {
+		t.Fatalf("clone differs: %v vs %v", s.Centers, c.Centers)
+	}
+	c.Centers[1][0] = 9
+	if s.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	if s.Centers[1][0] == 9 {
+		t.Fatal("clone aliases the original")
+	}
+	if s.Equal(Schedule{Centers: [][]int{{0, 1}}}) {
+		t.Fatal("window-count mismatch reported equal")
+	}
+	if s.Equal(Schedule{Centers: [][]int{{0, 1}, {2}}}) {
+		t.Fatal("ragged schedule reported equal")
+	}
+}

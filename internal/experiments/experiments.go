@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cost"
 	"repro/internal/grid"
 	"repro/internal/placement"
 	"repro/internal/report"
@@ -27,6 +28,10 @@ type Config struct {
 	// CapacityFactor scales the minimum per-processor memory; the
 	// paper uses 2 ("twice more than the minimum memory size").
 	CapacityFactor int
+	// Verify runs every emitted schedule through the independent
+	// referee (internal/verify): invariant checks plus a from-scratch
+	// cost recomputation that must agree exactly with the model.
+	Verify bool
 }
 
 // DefaultConfig returns the paper's setup: a 4x4 array, matrix sizes
@@ -79,12 +84,8 @@ func (r Row) Scheme(name string) (SchemeResult, bool) {
 // Table1 reproduces the paper's Table 1: the total communication cost
 // of every benchmark and size before execution-window grouping.
 func Table1(cfg Config) ([]Row, error) {
-	return buildTable(cfg, func(p *sched.Problem, s sched.Scheduler) (int64, error) {
-		sc, err := s.Schedule(p)
-		if err != nil {
-			return 0, err
-		}
-		return p.Model.TotalCost(sc), nil
+	return buildTable(cfg, func(p *sched.Problem, s sched.Scheduler) (cost.Schedule, error) {
+		return s.Schedule(p)
 	})
 }
 
@@ -94,34 +95,22 @@ func Table1(cfg Config) ([]Row, error) {
 // so its column matches Table 1; LOMCDS and GOMCDS are re-run on the
 // grouped windows.
 func Table2(cfg Config) ([]Row, error) {
-	return buildTable(cfg, func(p *sched.Problem, s sched.Scheduler) (int64, error) {
+	return buildTable(cfg, func(p *sched.Problem, s sched.Scheduler) (cost.Schedule, error) {
 		switch s.(type) {
 		case sched.SCDS:
-			sc, err := s.Schedule(p)
-			if err != nil {
-				return 0, err
-			}
-			return p.Model.TotalCost(sc), nil
+			return s.Schedule(p)
 		case sched.LOMCDS:
 			grp := window.Greedy(p, window.LocalCenters)
-			sc, err := window.Schedule(p, grp, window.LocalCenters)
-			if err != nil {
-				return 0, err
-			}
-			return p.Model.TotalCost(sc), nil
+			return window.Schedule(p, grp, window.LocalCenters)
 		case sched.GOMCDS:
 			grp := window.Greedy(p, window.LocalCenters)
-			sc, err := window.Schedule(p, grp, window.GlobalCenters)
-			if err != nil {
-				return 0, err
-			}
-			return p.Model.TotalCost(sc), nil
+			return window.Schedule(p, grp, window.GlobalCenters)
 		}
-		return 0, fmt.Errorf("experiments: unknown scheduler %s", s.Name())
+		return cost.Schedule{}, fmt.Errorf("experiments: unknown scheduler %s", s.Name())
 	})
 }
 
-func buildTable(cfg Config, eval func(*sched.Problem, sched.Scheduler) (int64, error)) ([]Row, error) {
+func buildTable(cfg Config, eval func(*sched.Problem, sched.Scheduler) (cost.Schedule, error)) ([]Row, error) {
 	if len(cfg.Sizes) == 0 {
 		return nil, fmt.Errorf("experiments: no data sizes configured")
 	}
@@ -137,17 +126,28 @@ func buildTable(cfg Config, eval func(*sched.Problem, sched.Scheduler) (int64, e
 			if err != nil {
 				return nil, fmt.Errorf("experiments: benchmark %d size %d: %v", b.ID, n, err)
 			}
+			if cfg.Verify {
+				if err := CrossCheckSchedule(tr, p, sf, fmt.Sprintf("benchmark %d size %d S.F.", b.ID, n)); err != nil {
+					return nil, err
+				}
+			}
 			row := Row{
 				BenchmarkID: b.ID,
 				Description: b.Description,
 				Size:        n,
 				SF:          p.Model.TotalCost(sf),
 			}
-			for _, s := range []sched.Scheduler{sched.SCDS{}, sched.LOMCDS{}, sched.GOMCDS{}} {
-				comm, err := eval(p, s)
+			for _, s := range sched.All() {
+				sc, err := eval(p, s)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: benchmark %d size %d %s: %v", b.ID, n, s.Name(), err)
 				}
+				if cfg.Verify {
+					if err := CrossCheckSchedule(tr, p, sc, fmt.Sprintf("benchmark %d size %d %s", b.ID, n, s.Name())); err != nil {
+						return nil, err
+					}
+				}
+				comm := p.Model.TotalCost(sc)
 				row.Schemes = append(row.Schemes, SchemeResult{
 					Name:        s.Name(),
 					Comm:        comm,

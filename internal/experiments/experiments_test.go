@@ -41,6 +41,9 @@ func TestTable1Structure(t *testing.T) {
 // straightforward distribution, and GOMCDS is the best of the three.
 func TestPaperShapeSmall(t *testing.T) {
 	cfg := Config{Grid: grid.Square(4), Sizes: []int{8, 16}, CapacityFactor: 2}
+	if testing.Short() {
+		cfg.Sizes = []int{8} // drop the 16x16 sweep; the shape checks still run
+	}
 	rows, err := Table1(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -338,3 +341,40 @@ func TestSchedules(t *testing.T) {
 
 // simOptions returns default simulator options for tests.
 func simOptions() sim.Options { return sim.Options{} }
+
+// The Verify knob routes every schedule through the independent
+// referee; on a healthy build the tables come out unchanged.
+func TestVerifyConfigTable(t *testing.T) {
+	cfg := smallConfig()
+	plain, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Verify = true
+	checked, err := Table1(cfg)
+	if err != nil {
+		t.Fatalf("verified run failed: %v", err)
+	}
+	if len(plain) != len(checked) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain), len(checked))
+	}
+	for i := range plain {
+		for j := range plain[i].Schemes {
+			if plain[i].Schemes[j].Comm != checked[i].Schemes[j].Comm {
+				t.Errorf("row %d scheme %s: cost changed under verification: %d vs %d",
+					i, plain[i].Schemes[j].Name, plain[i].Schemes[j].Comm, checked[i].Schemes[j].Comm)
+			}
+		}
+	}
+	if _, err := Table2(cfg); err != nil {
+		t.Fatalf("verified Table 2 failed: %v", err)
+	}
+}
+
+func TestVerifyConfigSchedules(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Verify = true
+	if _, _, err := Schedules(cfg, 1, 8); err != nil {
+		t.Fatalf("verified Schedules failed: %v", err)
+	}
+}

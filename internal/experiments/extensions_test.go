@@ -66,6 +66,9 @@ func TestReplicationStudy(t *testing.T) {
 }
 
 func TestExactAssignmentStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("min-cost-flow sweep skipped in short mode")
+	}
 	rows, err := ExactAssignmentStudy(smallConfig(), 8, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)

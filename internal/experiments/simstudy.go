@@ -50,6 +50,11 @@ func SimStudy(cfg Config, n int, opts sim.Options) ([]SimRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: sim study %d/%s: %v", b.ID, s.Name(), err)
 			}
+			if cfg.Verify {
+				if err := CrossCheckSchedule(tr, p, sc, fmt.Sprintf("sim study %d/%s", b.ID, s.Name())); err != nil {
+					return nil, err
+				}
+			}
 			res, err := simulator.Run(tr, sc)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: sim study %d/%s: %v", b.ID, s.Name(), err)
@@ -123,6 +128,11 @@ func Schedules(cfg Config, benchmarkID, n int) (*trace.Trace, map[string]cost.Sc
 			sc, err := s.Schedule(p)
 			if err != nil {
 				return nil, nil, err
+			}
+			if cfg.Verify {
+				if err := CrossCheckSchedule(tr, p, sc, fmt.Sprintf("benchmark %d size %d %s", benchmarkID, n, s.Name())); err != nil {
+					return nil, nil, err
+				}
 			}
 			out[s.Name()] = sc
 		}

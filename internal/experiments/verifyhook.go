@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// CrossCheckSchedule subjects one schedule to the independent referee:
+// the structural invariants (window coverage, single-copy residency,
+// center bounds, per-window capacity) and exact agreement between the
+// cost model's evaluation and the referee's from-scratch recomputation.
+// Experiment drivers call it on every schedule they emit when
+// Config.Verify is set, so a corrupted residence table or cost model
+// fails the run loudly instead of silently skewing a results table.
+func CrossCheckSchedule(tr *trace.Trace, p *sched.Problem, sc cost.Schedule, label string) error {
+	if err := verify.Check(tr, sc, p.Capacity); err != nil {
+		return fmt.Errorf("experiments: %s: %v", label, err)
+	}
+	bd := p.Model.Evaluate(sc)
+	if err := verify.CrossCheck(tr, sc, p.Model.DataSize, verify.Breakdown{Residence: bd.Residence, Move: bd.Move}); err != nil {
+		return fmt.Errorf("experiments: %s: %v", label, err)
+	}
+	return nil
+}

@@ -334,6 +334,12 @@ func (f Fixed) Schedule(p *Problem) (cost.Schedule, error) {
 	return cost.Uniform(f.Assign, p.Model.NumWindows()), nil
 }
 
+// All returns the paper's three schedulers in presentation order
+// (SCDS, LOMCDS, GOMCDS), for drivers that run the full comparison.
+func All() []Scheduler {
+	return []Scheduler{SCDS{}, LOMCDS{}, GOMCDS{}}
+}
+
 // ByName returns the scheduler with the given case-insensitive name
 // ("scds", "lomcds" or "gomcds"), for command-line tools.
 func ByName(name string) (Scheduler, error) {

@@ -483,3 +483,16 @@ func TestGOMCDSMonotoneInItemSize(t *testing.T) {
 		}
 	}
 }
+
+func TestAllListsThePaperSchedulers(t *testing.T) {
+	all := All()
+	want := []string{"SCDS", "LOMCDS", "GOMCDS"}
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d schedulers", len(all))
+	}
+	for i, s := range all {
+		if s.Name() != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, s.Name(), want[i])
+		}
+	}
+}

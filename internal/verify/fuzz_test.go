@@ -1,0 +1,88 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/verify"
+)
+
+// FuzzVerifyCost cross-checks the two cost evaluators on fuzz-chosen
+// random instances: for any trace and any valid schedule, the model's
+// table-free evaluation and the referee's naive recomputation must
+// agree exactly — including under non-unit data sizes.
+func FuzzVerifyCost(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(int64(-7))
+	f.Add(int64(1998))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(1+rng.Intn(4), 1+rng.Intn(4))
+		nd := rng.Intn(6)
+		nw := rng.Intn(5)
+		tr := verify.RandomTrace(rng, g, nd, nw, 8)
+		s := verify.RandomSchedule(rng, tr)
+		m := cost.NewModel(tr)
+		for d := range m.DataSize {
+			m.DataSize[d] = 1 + rng.Intn(4)
+		}
+		bd := m.Evaluate(s)
+		if err := verify.CrossCheck(tr, s, m.DataSize, verify.Breakdown{Residence: bd.Residence, Move: bd.Move}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
+// FuzzCheckSchedule feeds arbitrary center matrices to the invariant
+// checker and the cost evaluator: whatever shape the bytes decode to —
+// ragged rows, out-of-range or negative centers, too many or too few
+// windows — the referee must reject gracefully, never panic.
+func FuzzCheckSchedule(f *testing.F) {
+	f.Add(int64(0), []byte{})
+	f.Add(int64(1), []byte{0, 1, 2, 3})
+	f.Add(int64(2), []byte{0xFF, 0x80, 0x00, 0x7F, 0x10})
+	f.Add(int64(42), []byte("arbitrary schedule bytes"))
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+		nd := rng.Intn(4)
+		nw := rng.Intn(4)
+		tr := verify.RandomTrace(rng, g, nd, nw, 4)
+
+		// Decode the fuzz bytes into a center matrix of arbitrary shape:
+		// the first bytes choose row count and lengths, the rest fill
+		// centers (shifted so negatives and huge values both occur).
+		var s cost.Schedule
+		pos := 0
+		next := func() int {
+			if pos >= len(raw) {
+				return 0
+			}
+			b := raw[pos]
+			pos++
+			return int(int8(b)) // signed: exercise negative centers
+		}
+		rows := next() & 0x7 // 0..7 windows, independent of the trace
+		for w := 0; w < rows; w++ {
+			row := make([]int, next()&0x7)
+			for i := range row {
+				row[i] = next() * (1 + next()&0x3)
+			}
+			s.Centers = append(s.Centers, row)
+		}
+
+		// Neither entry point may panic, whatever the matrix looks like.
+		_ = verify.Check(tr, s, 0)
+		_ = verify.Check(tr, s, 1)
+		if _, err := verify.Cost(tr, s); err == nil {
+			// If the referee accepted the schedule it must be genuinely
+			// valid; re-check the invariants to be sure.
+			if err := verify.Check(tr, s, 0); err != nil {
+				t.Fatalf("Cost accepted a schedule Check rejects: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+// The exhaustive oracle: the true minimum-cost schedule for tiny
+// instances, found by brute-force enumeration rather than any of the
+// algorithms under test.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// Limits bound the exhaustive search. The enumeration visits
+// NumProcs^NumWindows center sequences per data item, so the bounds
+// keep the oracle instant while still covering instances large enough
+// to exercise every scheduler decision (moves, stays, ties).
+type Limits struct {
+	MaxProcs   int
+	MaxWindows int
+	MaxData    int
+}
+
+// DefaultLimits caps instances at a 3x3 array, 4 windows and 4 data
+// items: at most 9^4 = 6561 sequences per item.
+func DefaultLimits() Limits {
+	return Limits{MaxProcs: 9, MaxWindows: 4, MaxData: 4}
+}
+
+// Optimal finds the minimum-total-cost schedule of the trace under
+// unbounded memory capacity by enumerating, independently for every
+// data item, all NumProcs^NumWindows center sequences and keeping the
+// cheapest. With unbounded capacity the items do not interact, so the
+// per-item minima compose into the global optimum — the ground truth
+// any correct global scheduler must reach.
+//
+// Optimal refuses instances beyond DefaultLimits; use OptimalBounded to
+// widen the bounds explicitly.
+func Optimal(t *trace.Trace) (Breakdown, cost.Schedule, error) {
+	return OptimalBounded(t, DefaultLimits())
+}
+
+// OptimalBounded is Optimal with caller-chosen enumeration bounds.
+func OptimalBounded(t *trace.Trace, lim Limits) (Breakdown, cost.Schedule, error) {
+	if t == nil {
+		return Breakdown{}, cost.Schedule{}, fmt.Errorf("verify: nil trace")
+	}
+	if err := t.Validate(); err != nil {
+		return Breakdown{}, cost.Schedule{}, fmt.Errorf("verify: %v", err)
+	}
+	np, nw, nd := t.Grid.NumProcs(), t.NumWindows(), t.NumData
+	if np > lim.MaxProcs || nw > lim.MaxWindows || nd > lim.MaxData {
+		return Breakdown{}, cost.Schedule{}, fmt.Errorf(
+			"verify: instance %d procs x %d windows x %d items exceeds oracle limits %d/%d/%d",
+			np, nw, nd, lim.MaxProcs, lim.MaxWindows, lim.MaxData)
+	}
+	best := cost.Schedule{Centers: make([][]int, nw)}
+	for w := range best.Centers {
+		best.Centers[w] = make([]int, nd)
+	}
+	if nw == 0 {
+		return Breakdown{}, best, nil
+	}
+
+	// refCost[w][c] for the current item: the residence cost of window w
+	// with the item at processor c, summed naively over the raw events.
+	refCost := make([][]int64, nw)
+	for w := range refCost {
+		refCost[w] = make([]int64, np)
+	}
+	seq := make([]int, nw)
+	var total Breakdown
+	for d := 0; d < nd; d++ {
+		for w := range refCost {
+			row := refCost[w]
+			for c := range row {
+				row[c] = 0
+			}
+			for _, r := range t.Windows[w].Refs {
+				if int(r.Data) != d {
+					continue
+				}
+				for c := 0; c < np; c++ {
+					row[c] += int64(r.Volume) * int64(manhattan(t.Grid, r.Proc, c))
+				}
+			}
+		}
+
+		// Enumerate every center sequence as a base-np counter.
+		bestRes, bestMove := int64(-1), int64(-1)
+		bestSeq := make([]int, nw)
+		for i := range seq {
+			seq[i] = 0
+		}
+		for {
+			var res, move int64
+			for w, c := range seq {
+				res += refCost[w][c]
+				if w > 0 {
+					move += int64(manhattan(t.Grid, seq[w-1], c))
+				}
+			}
+			if bestRes < 0 || res+move < bestRes+bestMove {
+				bestRes, bestMove = res, move
+				copy(bestSeq, seq)
+			}
+			// Advance the counter; stop after the last sequence.
+			i := nw - 1
+			for ; i >= 0; i-- {
+				seq[i]++
+				if seq[i] < np {
+					break
+				}
+				seq[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+		total.Residence += bestRes
+		total.Move += bestMove
+		for w := 0; w < nw; w++ {
+			best.Centers[w][d] = bestSeq[w]
+		}
+	}
+	return total, best, nil
+}

@@ -1,0 +1,126 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+func TestOptimalSingleWindowByHand(t *testing.T) {
+	// One item on a 2x2 array: processor 0 (corner (0,0)) needs it once,
+	// processor 3 (corner (1,1)) three times. Storing at 3 costs 2 (the
+	// single far reference travels 2 hops); every other center is worse.
+	tr := trace.New(grid.Square(2), 1)
+	w := tr.AddWindow()
+	w.AddVolume(0, 0, 1)
+	w.AddVolume(3, 0, 3)
+	bd, s, err := Optimal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() != 2 || bd.Move != 0 {
+		t.Fatalf("breakdown = %+v, want total 2 with no movement", bd)
+	}
+	if s.Centers[0][0] != 3 {
+		t.Fatalf("optimal center = %d, want 3", s.Centers[0][0])
+	}
+}
+
+func TestOptimalTradesMovementAgainstResidence(t *testing.T) {
+	// 1x3 row: heavy use at processor 0 in window 0, heavy use at
+	// processor 2 in window 1. Moving the item (2 hops) beats serving
+	// either window remotely (3 x 2 hops).
+	tr := trace.New(grid.New(3, 1), 1)
+	tr.AddWindow().AddVolume(0, 0, 3)
+	tr.AddWindow().AddVolume(2, 0, 3)
+	bd, s, err := Optimal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Centers[0][0] != 0 || s.Centers[1][0] != 2 {
+		t.Fatalf("centers = %v, want item to follow the references", s.Centers)
+	}
+	if bd.Residence != 0 || bd.Move != 2 {
+		t.Fatalf("breakdown = %+v, want residence 0 move 2", bd)
+	}
+}
+
+func TestOptimalScheduleCostsWhatItClaims(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+		tr := RandomTrace(rng, g, 1+rng.Intn(4), 1+rng.Intn(4), 5)
+		bd, s, err := Optimal(tr)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		recomputed, err := Cost(tr, s)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if recomputed != bd {
+			t.Fatalf("iteration %d: oracle claims %+v, its schedule costs %+v", i, bd, recomputed)
+		}
+	}
+}
+
+func TestOptimalDominatesRandomSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+		tr := RandomTrace(rng, g, 1+rng.Intn(4), 1+rng.Intn(4), 5)
+		bd, _, err := Optimal(tr)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		for j := 0; j < 20; j++ {
+			other, err := Cost(tr, RandomSchedule(rng, tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if other.Total() < bd.Total() {
+				t.Fatalf("iteration %d: random schedule cost %d beats oracle optimum %d", i, other.Total(), bd.Total())
+			}
+		}
+	}
+}
+
+func TestOptimalLimits(t *testing.T) {
+	big := trace.New(grid.Square(4), 1) // 16 processors > MaxProcs 9
+	big.AddWindow().Add(0, 0)
+	if _, _, err := Optimal(big); err == nil {
+		t.Error("oversized array accepted")
+	}
+	wide := trace.New(grid.Square(2), 1)
+	for i := 0; i < 5; i++ { // 5 windows > MaxWindows 4
+		wide.AddWindow().Add(0, 0)
+	}
+	if _, _, err := Optimal(wide); err == nil {
+		t.Error("too many windows accepted")
+	}
+	many := trace.New(grid.Square(2), 5) // 5 items > MaxData 4
+	many.AddWindow().Add(0, 4)
+	if _, _, err := Optimal(many); err == nil {
+		t.Error("too many items accepted")
+	}
+	// The same instance passes with wider explicit bounds.
+	if _, _, err := OptimalBounded(many, Limits{MaxProcs: 9, MaxWindows: 4, MaxData: 8}); err != nil {
+		t.Errorf("widened bounds rejected: %v", err)
+	}
+	if _, _, err := Optimal(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestOptimalEmptyTrace(t *testing.T) {
+	tr := trace.New(grid.Square(2), 2)
+	bd, s, err := Optimal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() != 0 || len(s.Centers) != 0 {
+		t.Fatalf("empty trace: breakdown %+v, %d windows", bd, len(s.Centers))
+	}
+}

@@ -1,0 +1,151 @@
+// Package verify is an independent referee for data schedules.
+//
+// The three schedulers in internal/sched all minimize over the same
+// precomputed residence table built by internal/cost, so a bug in the
+// table machinery or the cost model would corrupt every reported result
+// in the same way and stay invisible to ordinary tests. This package
+// deliberately shares none of that machinery: costs are recomputed
+// directly from the trace with naive O(refs) summation and coordinate
+// arithmetic, schedules are checked against the problem's structural
+// invariants, and an exhaustive oracle recovers the true optimum on
+// tiny instances by enumerating every center sequence.
+//
+// The package imports internal/cost only for the Schedule container; it
+// never touches the residence-table builder or the model's distance
+// cache, so an error there cannot leak into the referee.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// Breakdown is the referee's independently recomputed cost split. It
+// mirrors the shape of the cost model's breakdown so the two can be
+// compared field by field, but is produced by a different code path.
+type Breakdown struct {
+	Residence int64
+	Move      int64
+}
+
+// Total returns the combined communication cost.
+func (b Breakdown) Total() int64 { return b.Residence + b.Move }
+
+// manhattan computes the x-y routing distance between two linear
+// processor indices from coordinates alone — no shared distance table.
+func manhattan(g grid.Grid, a, b int) int {
+	ca, cb := g.Coord(a), g.Coord(b)
+	dx, dy := ca.X-cb.X, ca.Y-cb.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Check enforces the structural invariants of a schedule against its
+// trace:
+//
+//   - the schedule covers exactly the trace's execution windows;
+//   - every window assigns exactly one center to every data item (the
+//     paper's single-copy residency);
+//   - every center is a processor of the array; and
+//   - with capacity > 0, no processor holds more than capacity items in
+//     any window.
+//
+// Check never panics, whatever the center matrix looks like; malformed
+// schedules yield descriptive errors.
+func Check(t *trace.Trace, s cost.Schedule, capacity int) error {
+	if t == nil {
+		return fmt.Errorf("verify: nil trace")
+	}
+	if len(s.Centers) != t.NumWindows() {
+		return fmt.Errorf("verify: schedule covers %d windows, trace has %d", len(s.Centers), t.NumWindows())
+	}
+	np := t.Grid.NumProcs()
+	occ := make([]int, np)
+	for w, row := range s.Centers {
+		if len(row) != t.NumData {
+			return fmt.Errorf("verify: window %d assigns %d centers, trace has %d data items", w, len(row), t.NumData)
+		}
+		for i := range occ {
+			occ[i] = 0
+		}
+		for d, c := range row {
+			if c < 0 || c >= np {
+				return fmt.Errorf("verify: window %d data %d on processor %d outside %v array", w, d, c, t.Grid)
+			}
+			occ[c]++
+			if capacity > 0 && occ[c] > capacity {
+				return fmt.Errorf("verify: window %d processor %d holds more than %d items", w, c, capacity)
+			}
+		}
+	}
+	return nil
+}
+
+// Cost recomputes the total communication cost of a schedule directly
+// from the trace, assuming unit data sizes (the paper's default): every
+// reference event is charged volume times the x-y distance to the
+// window's center for the referenced item, and every center change
+// between consecutive windows is charged the distance traveled.
+func Cost(t *trace.Trace, s cost.Schedule) (Breakdown, error) {
+	return CostWithSizes(t, s, nil)
+}
+
+// CostWithSizes is Cost with explicit per-item movement sizes, for
+// traces whose items model coarser blocks. sizes may be nil (all ones)
+// or must have one entry per data item.
+func CostWithSizes(t *trace.Trace, s cost.Schedule, sizes []int) (Breakdown, error) {
+	if t == nil {
+		return Breakdown{}, fmt.Errorf("verify: nil trace")
+	}
+	if err := t.Validate(); err != nil {
+		return Breakdown{}, fmt.Errorf("verify: %v", err)
+	}
+	if err := Check(t, s, 0); err != nil {
+		return Breakdown{}, err
+	}
+	if sizes != nil && len(sizes) != t.NumData {
+		return Breakdown{}, fmt.Errorf("verify: %d sizes for %d data items", len(sizes), t.NumData)
+	}
+	var bd Breakdown
+	for w := range t.Windows {
+		row := s.Centers[w]
+		for _, r := range t.Windows[w].Refs {
+			bd.Residence += int64(r.Volume) * int64(manhattan(t.Grid, r.Proc, row[r.Data]))
+		}
+	}
+	for d := 0; d < t.NumData; d++ {
+		size := 1
+		if sizes != nil {
+			size = sizes[d]
+		}
+		for w := 1; w < len(s.Centers); w++ {
+			bd.Move += int64(size) * int64(manhattan(t.Grid, s.Centers[w-1][d], s.Centers[w][d]))
+		}
+	}
+	return bd, nil
+}
+
+// CrossCheck recomputes a schedule's cost from scratch and compares it
+// against the breakdown the cost model claims. A nil return proves the
+// two independent evaluators agree exactly; any divergence — in either
+// component — is reported with both values so the failing layer is
+// identifiable.
+func CrossCheck(t *trace.Trace, s cost.Schedule, sizes []int, claimed Breakdown) error {
+	got, err := CostWithSizes(t, s, sizes)
+	if err != nil {
+		return err
+	}
+	if got != claimed {
+		return fmt.Errorf("verify: cost divergence: model claims residence %d + movement %d = %d, independent recomputation gives residence %d + movement %d = %d",
+			claimed.Residence, claimed.Move, claimed.Total(), got.Residence, got.Move, got.Total())
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// handTrace builds a 2x2 instance small enough to cost by hand:
+//
+//	window 0: processor 0 references item 0 twice, processor 3 item 1 once
+//	window 1: processor 1 references item 0 once
+func handTrace() *trace.Trace {
+	t := trace.New(grid.Square(2), 2)
+	w0 := t.AddWindow()
+	w0.AddVolume(0, 0, 2)
+	w0.AddVolume(3, 1, 1)
+	w1 := t.AddWindow()
+	w1.AddVolume(1, 0, 1)
+	return t
+}
+
+func handSchedule() cost.Schedule {
+	return cost.Schedule{Centers: [][]int{{0, 1}, {3, 1}}}
+}
+
+func TestCostByHand(t *testing.T) {
+	tr := handTrace()
+	// Residence: w0 item0@0 serves proc 0 locally (0), item1@1 serves
+	// proc 3 over 1 hop (1); w1 item0@3 serves proc 1 over 1 hop (1).
+	// Movement: item 0 travels 0 -> 3 (2 hops), item 1 stays.
+	bd, err := Cost(tr, handSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Residence != 2 || bd.Move != 2 || bd.Total() != 4 {
+		t.Fatalf("breakdown = %+v, want residence 2 move 2", bd)
+	}
+}
+
+func TestCostWithSizes(t *testing.T) {
+	tr := handTrace()
+	bd, err := CostWithSizes(tr, handSchedule(), []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Residence != 2 || bd.Move != 6 {
+		t.Fatalf("breakdown = %+v, want residence 2 move 6 (item 0 weighs 3)", bd)
+	}
+	if _, err := CostWithSizes(tr, handSchedule(), []int{1}); err == nil {
+		t.Error("short size vector accepted")
+	}
+}
+
+func TestCostRejectsInvalidInputs(t *testing.T) {
+	tr := handTrace()
+	if _, err := Cost(nil, handSchedule()); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad := trace.New(grid.Square(2), 1)
+	bad.AddWindow().Add(9, 0) // processor outside the array
+	if _, err := Cost(bad, cost.Schedule{Centers: [][]int{{0}}}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	if _, err := Cost(tr, cost.Schedule{Centers: [][]int{{0, 1}}}); err == nil {
+		t.Error("window-count mismatch accepted")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	tr := handTrace()
+	cases := []struct {
+		name     string
+		s        cost.Schedule
+		capacity int
+		wantErr  string
+	}{
+		{"valid", handSchedule(), 0, ""},
+		{"valid under capacity", handSchedule(), 1, ""},
+		{"wrong window count", cost.Schedule{Centers: [][]int{{0, 1}}}, 0, "windows"},
+		{"ragged row", cost.Schedule{Centers: [][]int{{0, 1}, {3}}}, 0, "centers"},
+		{"nil rows", cost.Schedule{Centers: [][]int{nil, nil}}, 0, "centers"},
+		{"center out of range", cost.Schedule{Centers: [][]int{{0, 4}, {0, 0}}}, 0, "outside"},
+		{"negative center", cost.Schedule{Centers: [][]int{{0, -1}, {0, 0}}}, 0, "outside"},
+		{"capacity violated", cost.Schedule{Centers: [][]int{{2, 2}, {0, 1}}}, 1, "more than"},
+	}
+	for _, tc := range cases {
+		err := Check(tr, tc.s, tc.capacity)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if err := Check(nil, handSchedule(), 0); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestCrossCheck(t *testing.T) {
+	tr := handTrace()
+	if err := CrossCheck(tr, handSchedule(), nil, Breakdown{Residence: 2, Move: 2}); err != nil {
+		t.Fatalf("agreeing claim rejected: %v", err)
+	}
+	err := CrossCheck(tr, handSchedule(), nil, Breakdown{Residence: 2, Move: 3})
+	if err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("diverging claim passed (err = %v)", err)
+	}
+}
+
+func TestManhattanMatchesGrid(t *testing.T) {
+	g := grid.New(3, 2)
+	for a := 0; a < g.NumProcs(); a++ {
+		for b := 0; b < g.NumProcs(); b++ {
+			if manhattan(g, a, b) != g.Dist(a, b) {
+				t.Fatalf("manhattan(%d,%d) = %d, grid says %d", a, b, manhattan(g, a, b), g.Dist(a, b))
+			}
+		}
+	}
+}
+
+func TestRandomTraceAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+		tr := RandomTrace(rng, g, rng.Intn(5), rng.Intn(5), 6)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		s := RandomSchedule(rng, tr)
+		if err := Check(tr, s, 0); err != nil {
+			t.Fatalf("iteration %d: random schedule invalid: %v", i, err)
+		}
+	}
+}

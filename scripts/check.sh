@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-2 verification gate: static analysis plus the full test suite
+# with the race detector (the capture recorder, parallel table builder
+# and worker pools are all concurrency-bearing). Tier-1 remains
+# `go build ./... && go test ./...`; run this script before merging
+# anything that touches scheduling, cost evaluation or concurrency.
+#
+# Usage: scripts/check.sh [extra go test args, e.g. -short]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race "$@" ./...
+
+echo "check.sh: all gates passed"
