@@ -10,10 +10,14 @@
 package pim_test
 
 import (
+	"math/rand"
 	"testing"
 
+	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // BenchmarkFigure1Example regenerates the Section 3.3 / Figure 1 worked
@@ -151,6 +155,38 @@ func reportAverages(b *testing.B, rows []experiments.Row) {
 	b.ReportMetric(experiments.AverageImprovement(rows, "SCDS"), "%improve-SCDS")
 	b.ReportMetric(experiments.AverageImprovement(rows, "LOMCDS"), "%improve-LOMCDS")
 	b.ReportMetric(experiments.AverageImprovement(rows, "GOMCDS"), "%improve-GOMCDS")
+}
+
+// BenchmarkResidenceKernel is the headline kernel comparison: the
+// separable prefix-sum residence kernel against the naive per-cell
+// summation on a 16x16 array with dense reference windows (every
+// window averages 64 references per processor). scripts/bench.sh runs
+// it and records the speedup in BENCH_RESIDENCE.json; compare runs
+// with benchstat.
+func BenchmarkResidenceKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := grid.Square(16)
+	const nd = 256
+	tr := trace.New(g, nd)
+	for w := 0; w < 8; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < 64*256; r++ {
+			win.Add(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)))
+		}
+	}
+	m := cost.NewModel(tr)
+	b.Run("separable", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.BuildResidenceTable()
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.BuildResidenceTableNaive()
+		}
+	})
 }
 
 // BenchmarkOnlineStudy regenerates the E7 online-vs-offline study at

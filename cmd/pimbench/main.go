@@ -14,14 +14,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,7 +37,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
-	table := fs.String("table", "all", "artifact: 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse or all")
+	table := fs.String("table", "all", "artifact: 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse, kernel or all")
 	gridSpec := fs.String("grid", "4x4", "processor array, WxH")
 	sizesSpec := fs.String("sizes", "8,16,32", "data matrix dimensions")
 	capFactor := fs.Int("capacity", 2, "memory capacity as a multiple of the minimum")
@@ -214,8 +218,15 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 	}
+	if want("kernel") {
+		ran = true
+		noReferee("kernel")
+		if err := kernelStudy(out, g, *n); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown artifact %q (want 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse or all)", *table)
+		return fmt.Errorf("unknown artifact %q (want 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse, kernel or all)", *table)
 	}
 	if *doVerify {
 		if len(unrefereed) > 0 {
@@ -227,6 +238,69 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// kernelStudy times the separable prefix-sum residence kernel against
+// the naive per-cell kernel on a dense random instance (n x n data
+// items on the chosen array, 8 windows of 64 references per processor)
+// and cross-checks that the two tables agree cell for cell, so the
+// printed speedup is attested to be a speedup of the *same* function.
+func kernelStudy(out io.Writer, g grid.Grid, n int) error {
+	rng := rand.New(rand.NewSource(1998))
+	nd, np := n*n, g.NumProcs()
+	tr := trace.New(g, trimData(nd))
+	for w := 0; w < 8; w++ {
+		win := tr.AddWindow()
+		if tr.NumData == 0 {
+			continue
+		}
+		for r := 0; r < 64*np; r++ {
+			win.Add(rng.Intn(np), trace.DataID(rng.Intn(tr.NumData)))
+		}
+	}
+	m := cost.NewModel(tr)
+
+	start := time.Now()
+	fast := m.BuildResidenceTable()
+	fastDur := time.Since(start)
+	start = time.Now()
+	naive := m.BuildResidenceTableNaive()
+	naiveDur := time.Since(start)
+
+	for w := range fast {
+		for d := range fast[w] {
+			for c := range fast[w][d] {
+				if fast[w][d][c] != naive[w][d][c] {
+					return fmt.Errorf("kernel divergence at [%d][%d][%d]: separable %d, naive %d",
+						w, d, c, fast[w][d][c], naive[w][d][c])
+				}
+			}
+		}
+	}
+
+	tbl := report.NewTable(fmt.Sprintf("Residence kernels (%v array, %d items, %d windows, %d refs)",
+		g, tr.NumData, tr.NumWindows(), tr.NumRefs()),
+		"kernel", "time")
+	tbl.AddF(cost.KernelSeparable, fastDur.Round(time.Microsecond))
+	tbl.AddF(cost.KernelNaive, naiveDur.Round(time.Microsecond))
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "kernels agree on all cells")
+	if fastDur > 0 {
+		fmt.Fprintf(out, "speedup: %.1fx\n", float64(naiveDur)/float64(fastDur))
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// trimData keeps tiny CLI invocations legal: a data count of zero
+// (n = 0) still builds a model, it just prices nothing.
+func trimData(nd int) int {
+	if nd < 0 {
+		return 0
+	}
+	return nd
 }
 
 func printAverages(out io.Writer, rows []experiments.Row) {

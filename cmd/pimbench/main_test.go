@@ -43,13 +43,29 @@ func TestTable2SmallSize(t *testing.T) {
 }
 
 func TestStudies(t *testing.T) {
-	for _, table := range []string{"ablation", "sweep", "sim", "online", "replica", "exact", "scaling", "coarse"} {
+	for _, table := range []string{"ablation", "sweep", "sim", "online", "replica", "exact", "scaling", "coarse", "kernel"} {
 		var out bytes.Buffer
 		if err := run([]string{"-table", table, "-sizes", "8", "-n", "8"}, &out); err != nil {
 			t.Fatalf("%s: %v", table, err)
 		}
 		if out.Len() == 0 {
 			t.Errorf("%s produced no output", table)
+		}
+	}
+}
+
+// TestKernelArtifact: the kernel comparison must attest cell-for-cell
+// agreement between the separable and naive residence kernels before
+// it reports any timing, so the speedup is a speedup of equal output.
+func TestKernelArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "kernel", "-n", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Residence kernels", "separable", "naive", "kernels agree on all cells", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("kernel output missing %q:\n%s", want, s)
 		}
 	}
 }

@@ -108,8 +108,19 @@ type Model struct {
 	// overwrite entries to model coarser items.
 	DataSize []int
 
+	// Kernel selects the residence-table algorithm. The zero value is
+	// KernelSeparable, the fast prefix-sum kernel; set KernelNaive to
+	// fall back to per-cell summation (the differential referee runs
+	// both and demands cell-for-cell agreement).
+	Kernel Kernel
+
 	dist   [][]int
 	counts trace.Counts
+
+	// colOf[p] / rowOf[p] are the x / y coordinates of processor p,
+	// precomputed so the separable kernel projects volumes onto axis
+	// histograms without coordinate arithmetic in the inner loop.
+	colOf, rowOf []int
 }
 
 // NewModel builds a cost model for the trace. The trace must be valid
@@ -123,12 +134,21 @@ func NewModel(t *trace.Trace) *Model {
 	for i := range sizes {
 		sizes[i] = 1
 	}
+	np := t.Grid.NumProcs()
+	colOf := make([]int, np)
+	rowOf := make([]int, np)
+	for p := 0; p < np; p++ {
+		c := t.Grid.Coord(p)
+		colOf[p], rowOf[p] = c.X, c.Y
+	}
 	return &Model{
 		Grid:     t.Grid,
 		NumData:  t.NumData,
 		DataSize: sizes,
 		dist:     t.Grid.DistanceTable(),
 		counts:   t.BuildCounts(),
+		colOf:    colOf,
+		rowOf:    rowOf,
 	}
 }
 
@@ -159,43 +179,23 @@ func (m *Model) Residence(w int, d trace.DataID, c int) int64 {
 // item d stored at processor c.
 type ResidenceTable [][][]int64
 
-// BuildResidenceTable computes the full residence table, parallelized
-// over data items. Most scheduler run time is spent here, so the table
-// is built once and shared across SCDS, LOMCDS and GOMCDS runs on the
-// same trace.
+// BuildResidenceTable computes the full residence table with the
+// kernel selected by m.Kernel (the separable prefix-sum kernel by
+// default), parallelized over data items. Most scheduler run time is
+// spent here, so the table is built once and shared across SCDS,
+// LOMCDS and GOMCDS runs on the same trace.
 func (m *Model) BuildResidenceTable() ResidenceTable {
-	nw, nd, np := m.NumWindows(), m.NumData, m.Grid.NumProcs()
-	table := make(ResidenceTable, nw)
-	for w := range table {
-		flat := make([]int64, nd*np)
-		table[w] = make([][]int64, nd)
-		for d := range table[w] {
-			table[w][d], flat = flat[:np], flat[np:]
-		}
+	if m.Kernel == KernelNaive {
+		return m.buildNaive()
 	}
-	parallel.ForEach(nd, func(d int) {
-		// Scratch for the sparse (processor, volume) pairs of one window.
-		procs := make([]int, 0, np)
-		vols := make([]int64, 0, np)
-		for w := 0; w < nw; w++ {
-			procs, vols = procs[:0], vols[:0]
-			for p, v := range m.counts[w][d] {
-				if v != 0 {
-					procs = append(procs, p)
-					vols = append(vols, int64(v))
-				}
-			}
-			row := table[w][d]
-			for c := 0; c < np; c++ {
-				var total int64
-				for i, p := range procs {
-					total += vols[i] * int64(m.dist[p][c])
-				}
-				row[c] = total
-			}
-		}
-	})
-	return table
+	return m.buildSeparable()
+}
+
+// BuildResidenceTableNaive computes the table with the per-cell
+// summation kernel regardless of m.Kernel, for differential testing
+// against the separable kernel.
+func (m *Model) BuildResidenceTableNaive() ResidenceTable {
+	return m.buildNaive()
 }
 
 // ResidenceCost returns the total residence cost of the schedule: the

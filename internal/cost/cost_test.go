@@ -67,6 +67,60 @@ func TestBuildResidenceTableMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestKernelDispatch pins the Kernel option: the default separable
+// kernel, the KernelNaive fallback and the explicit naive builder all
+// price every cell identically on the hand-computed trace.
+func TestKernelDispatch(t *testing.T) {
+	m := NewModel(twoWindowTrace())
+	if m.Kernel != KernelSeparable {
+		t.Fatalf("default kernel = %v, want separable", m.Kernel)
+	}
+	sep := m.BuildResidenceTable()
+	naiveExplicit := m.BuildResidenceTableNaive()
+	m.Kernel = KernelNaive
+	naiveOption := m.BuildResidenceTable()
+	for w := range sep {
+		for d := range sep[w] {
+			for c := range sep[w][d] {
+				if sep[w][d][c] != naiveExplicit[w][d][c] || sep[w][d][c] != naiveOption[w][d][c] {
+					t.Fatalf("kernel divergence at [%d][%d][%d]: separable %d, naive %d, option %d",
+						w, d, c, sep[w][d][c], naiveExplicit[w][d][c], naiveOption[w][d][c])
+				}
+			}
+		}
+	}
+	if KernelSeparable.String() != "separable" || KernelNaive.String() != "naive" {
+		t.Error("kernel names wrong")
+	}
+	if Kernel(9).String() == "" {
+		t.Error("unknown kernel has empty string")
+	}
+}
+
+// TestBuildAggregateTableMatchesWindowSums: the separably-priced
+// whole-run aggregate must equal the column sums of the per-window
+// table on random instances.
+func TestBuildAggregateTableMatchesWindowSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 20; iter++ {
+		tr := randomCostTrace(rng)
+		m := NewModel(tr)
+		table := m.BuildResidenceTable()
+		agg := m.BuildAggregateTable()
+		for d := 0; d < m.NumData; d++ {
+			for c := 0; c < m.Grid.NumProcs(); c++ {
+				var want int64
+				for w := 0; w < m.NumWindows(); w++ {
+					want += table[w][d][c]
+				}
+				if agg[d][c] != want {
+					t.Fatalf("iter %d: agg[%d][%d] = %d, want %d", iter, d, c, agg[d][c], want)
+				}
+			}
+		}
+	}
+}
+
 func TestUniformScheduleHasNoMoveCost(t *testing.T) {
 	m := NewModel(twoWindowTrace())
 	s := Uniform([]int{0, 1}, 2)
@@ -248,21 +302,52 @@ func randomSchedule(rng *rand.Rand, m *Model) Schedule {
 	return s
 }
 
-func BenchmarkBuildResidenceTable(b *testing.B) {
+// benchModel builds a dense benchmark instance: an n x n array, n*n
+// data items, and windows of refsPerWindow random unit references.
+func benchModel(n, windows, refsPerWindow int) *Model {
 	rng := rand.New(rand.NewSource(5))
-	g := grid.Square(4)
-	tr := trace.New(g, 256)
-	for w := 0; w < 16; w++ {
+	g := grid.Square(n)
+	nd := n * n
+	tr := trace.New(g, nd)
+	for w := 0; w < windows; w++ {
 		win := tr.AddWindow()
-		for r := 0; r < 1024; r++ {
-			win.Add(rng.Intn(16), trace.DataID(rng.Intn(256)))
+		for r := 0; r < refsPerWindow; r++ {
+			win.Add(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)))
 		}
 	}
-	m := NewModel(tr)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = m.BuildResidenceTable()
+	return NewModel(tr)
+}
+
+// BenchmarkBuildResidenceTable compares the two kernels on the same
+// instance; benchstat over the sub-benchmarks gives the speedup.
+func BenchmarkBuildResidenceTable(b *testing.B) {
+	m := benchModel(4, 16, 1024)
+	b.Run("separable", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.buildSeparable()
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.buildNaive()
+		}
+	})
+}
+
+// BenchmarkBuildAggregateTable times the whole-run aggregation SCDS
+// and LOMCDS use for initial placement, under both kernels.
+func BenchmarkBuildAggregateTable(b *testing.B) {
+	m := benchModel(4, 16, 1024)
+	for _, kernel := range []Kernel{KernelSeparable, KernelNaive} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			m.Kernel = kernel
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = m.BuildAggregateTable()
+			}
+		})
 	}
 }
 

@@ -1,0 +1,207 @@
+// Residence-table kernels.
+//
+// The x-y routing distance is separable by dimension:
+//
+//	dist(p, c) = |px - cx| + |py - cy|
+//
+// so the residence cost of one (window, item) pair decomposes into two
+// independent one-dimensional problems: project the reference volumes
+// onto a per-column histogram and a per-row histogram, compute the
+// weighted-distance profile of each axis with a prefix-sum recurrence in
+// O(X) / O(Y), and emit R[w][d][c] = Cx[cx] + Cy[cy]. The whole table
+// costs O(W*D*(X+Y+P)) independent of how dense the reference string
+// is, against O(W*D*P*refs) for the naive per-cell summation. The naive
+// kernel is kept both as the differential referee's counterpart and as
+// a fallback selectable through Model.Kernel.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Kernel selects the algorithm BuildResidenceTable uses.
+type Kernel int
+
+const (
+	// KernelSeparable is the prefix-sum kernel (the default):
+	// O(X+Y+P) per (window, item) pair, independent of reference count.
+	KernelSeparable Kernel = iota
+	// KernelNaive prices every cell by summing over the window's
+	// referencing processors: O(P*refs) per (window, item) pair.
+	KernelNaive
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelSeparable:
+		return "separable"
+	case KernelNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// axisCosts fills out[x] with the weighted one-dimensional distance sum
+// sum_i vol[i] * |i - x| for every coordinate x, in O(len(vol)) via the
+// standard prefix recurrence: moving the evaluation point one step right
+// adds the volume already passed and subtracts the volume still ahead.
+func axisCosts(vol, out []int64) {
+	var total, weighted int64
+	for x, v := range vol {
+		total += v
+		weighted += v * int64(x)
+	}
+	out[0] = weighted // cost at x = 0: every unit pays its coordinate
+	var left int64
+	for x := 1; x < len(vol); x++ {
+		left += vol[x-1]
+		out[x] = out[x-1] + left - (total - left)
+	}
+}
+
+// buildSeparable computes the table with the prefix-sum kernel,
+// parallelized over data items like the naive builder.
+func (m *Model) buildSeparable() ResidenceTable {
+	nw, nd, np := m.NumWindows(), m.NumData, m.Grid.NumProcs()
+	table := newResidenceTable(nw, nd, np)
+	nx, ny := m.Grid.Width(), m.Grid.Height()
+	parallel.ForEach(nd, func(d int) {
+		colVol := make([]int64, nx)
+		rowVol := make([]int64, ny)
+		colCost := make([]int64, nx)
+		rowCost := make([]int64, ny)
+		for w := 0; w < nw; w++ {
+			if !m.projectVolumes(m.counts[w][d], colVol, rowVol) {
+				continue // no references: the zero-initialized row is exact
+			}
+			axisCosts(colVol, colCost)
+			axisCosts(rowVol, rowCost)
+			row := table[w][d]
+			for c := 0; c < np; c++ {
+				row[c] = colCost[m.colOf[c]] + rowCost[m.rowOf[c]]
+			}
+			for x := range colVol {
+				colVol[x] = 0
+			}
+			for y := range rowVol {
+				rowVol[y] = 0
+			}
+		}
+	})
+	return table
+}
+
+// projectVolumes accumulates one count row onto the column and row
+// histograms and reports whether any volume was seen. The histograms
+// must arrive zeroed; on a false return they are still zeroed.
+func (m *Model) projectVolumes(counts []int, colVol, rowVol []int64) bool {
+	any := false
+	for p, v := range counts {
+		if v != 0 {
+			colVol[m.colOf[p]] += int64(v)
+			rowVol[m.rowOf[p]] += int64(v)
+			any = true
+		}
+	}
+	return any
+}
+
+// buildNaive computes the table cell by cell, summing every reference's
+// distance — the original kernel, kept as the in-package counterpart
+// for differential testing and as a Kernel option.
+func (m *Model) buildNaive() ResidenceTable {
+	nw, nd, np := m.NumWindows(), m.NumData, m.Grid.NumProcs()
+	table := newResidenceTable(nw, nd, np)
+	parallel.ForEach(nd, func(d int) {
+		// Scratch for the sparse (processor, volume) pairs of one window.
+		procs := make([]int, 0, np)
+		vols := make([]int64, 0, np)
+		for w := 0; w < nw; w++ {
+			procs, vols = procs[:0], vols[:0]
+			for p, v := range m.counts[w][d] {
+				if v != 0 {
+					procs = append(procs, p)
+					vols = append(vols, int64(v))
+				}
+			}
+			row := table[w][d]
+			for c := 0; c < np; c++ {
+				var total int64
+				for i, p := range procs {
+					total += vols[i] * int64(m.dist[p][c])
+				}
+				row[c] = total
+			}
+		}
+	})
+	return table
+}
+
+// newResidenceTable allocates a zeroed nw x nd x np table with one flat
+// backing slice per window.
+func newResidenceTable(nw, nd, np int) ResidenceTable {
+	table := make(ResidenceTable, nw)
+	for w := range table {
+		flat := make([]int64, nd*np)
+		table[w] = make([][]int64, nd)
+		for d := range table[w] {
+			table[w][d], flat = flat[:np], flat[np:]
+		}
+	}
+	return table
+}
+
+// BuildAggregateTable returns A[d][c], the residence cost of item d at
+// center c summed over every window — the "merged single execution
+// window" SCDS and LOMCDS minimize over for initial placement. Because
+// residence cost is linear in the reference volumes, the whole-run
+// aggregate is priced directly from the per-item volume totals with the
+// selected kernel, without materializing (or re-reading) the per-window
+// table.
+func (m *Model) BuildAggregateTable() [][]int64 {
+	nd, np := m.NumData, m.Grid.NumProcs()
+	nx, ny := m.Grid.Width(), m.Grid.Height()
+	flat := make([]int64, nd*np)
+	agg := make([][]int64, nd)
+	for d := range agg {
+		agg[d], flat = flat[:np], flat[np:]
+	}
+	parallel.ForEach(nd, func(d int) {
+		merged := make([]int, np)
+		for w := range m.counts {
+			for p, v := range m.counts[w][d] {
+				merged[p] += v
+			}
+		}
+		row := agg[d]
+		switch m.Kernel {
+		case KernelNaive:
+			for c := 0; c < np; c++ {
+				var total int64
+				for p, v := range merged {
+					if v != 0 {
+						total += int64(v) * int64(m.dist[p][c])
+					}
+				}
+				row[c] = total
+			}
+		default:
+			colVol := make([]int64, nx)
+			rowVol := make([]int64, ny)
+			if !m.projectVolumes(merged, colVol, rowVol) {
+				return // never referenced: all-zero row is exact
+			}
+			colCost := make([]int64, nx)
+			rowCost := make([]int64, ny)
+			axisCosts(colVol, colCost)
+			axisCosts(rowVol, rowCost)
+			for c := 0; c < np; c++ {
+				row[c] = colCost[m.colOf[c]] + rowCost[m.rowOf[c]]
+			}
+		}
+	})
+	return agg
+}

@@ -14,6 +14,13 @@ import (
 	"fmt"
 )
 
+// Unreachable is a distance sentinel strictly larger than any x-y
+// routing distance a real array can produce (array dimensions are int
+// sized, so genuine distances stay far below 2^30). Search loops use it
+// as the initial "no candidate seen" bound; code that could return it
+// as an actual distance is buggy and must validate its inputs instead.
+const Unreachable = 1 << 30
+
 // Coord is the position of a processor in the two-dimensional array.
 // X grows to the right (column index) and Y grows downward (row index),
 // matching the figures in the paper.

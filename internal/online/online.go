@@ -26,8 +26,10 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/grid"
 	"repro/internal/placement"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Policy selects the online decision rule.
@@ -102,9 +104,13 @@ func (s Scheduler) Schedule(p *sched.Problem) (cost.Schedule, error) {
 		for d := 0; d < nd; d++ {
 			desired := s.decide(p, counts, w, d, cur[d], factor, regret)
 			row[d] = nearestFree(p, tracker, desired)
-			if row[d] != desired && row[d] != cur[d] {
-				// Forced off the desired center: reset the hysteresis
-				// account, since the move already happened.
+			// The hysteresis account tracks the regret of staying at the
+			// current center, so it resets exactly when the placement
+			// actually changes — whether the move was the policy's own or
+			// a capacity-forced one. A desired move that capacity denies
+			// (the item is pushed back to cur) keeps its accumulated
+			// regret, so the policy retries once a slot frees up.
+			if cur[d] >= 0 && row[d] != cur[d] {
 				regret[d] = 0
 			}
 			cur[d] = row[d]
@@ -116,7 +122,7 @@ func (s Scheduler) Schedule(p *sched.Problem) (cost.Schedule, error) {
 
 // decide returns the policy's desired center for item d in window w,
 // updating the hysteresis regret account.
-func (s Scheduler) decide(p *sched.Problem, counts [][][]int, w, d, cur int, factor float64, regret []int64) int {
+func (s Scheduler) decide(p *sched.Problem, counts trace.Counts, w, d, cur int, factor float64, regret []int64) int {
 	// Local-optimal center of this window (lowest index on ties).
 	best, bestCost := 0, p.Table[w][d][0]
 	for c := 1; c < p.Model.Grid.NumProcs(); c++ {
@@ -124,18 +130,16 @@ func (s Scheduler) decide(p *sched.Problem, counts [][][]int, w, d, cur int, fac
 			best, bestCost = c, p.Table[w][d][c]
 		}
 	}
-	referenced := false
-	for _, v := range counts[w][d] {
-		if v != 0 {
-			referenced = true
-			break
-		}
-	}
+	referenced := counts.Referenced(w, trace.DataID(d))
 	if cur < 0 {
 		// Initial placement: every policy starts at the first window's
-		// local center (or defers until the item is first referenced).
+		// local center. An item the first window never references has an
+		// all-zero residence row — the argmin would park every such item
+		// on processor 0, hot-spotting its memory and evicting referenced
+		// items from their desired centers under capacity — so those are
+		// spread cyclically instead.
 		if !referenced {
-			return best // all-zero row; any processor serves for free
+			return d % p.Model.Grid.NumProcs()
 		}
 		return best
 	}
@@ -151,7 +155,9 @@ func (s Scheduler) decide(p *sched.Problem, counts [][][]int, w, d, cur int, fac
 		regret[d] += p.Table[w][d][cur] - bestCost
 		moveCost := int64(p.Model.DataSize[d]) * int64(p.Model.Dist(cur, best))
 		if float64(regret[d]) >= factor*float64(moveCost) && best != cur {
-			regret[d] = 0
+			// Only *desire* the move here; the account is reset by
+			// Schedule once the placement is final, because a
+			// capacity-denied move must keep its accumulated regret.
 			return best
 		}
 		return cur
@@ -165,7 +171,7 @@ func nearestFree(p *sched.Problem, tracker *placement.Tracker, desired int) int 
 	if tracker.TryPlace(desired) {
 		return desired
 	}
-	best, bestDist := -1, 1<<30
+	best, bestDist := -1, grid.Unreachable
 	for c := 0; c < p.Model.Grid.NumProcs(); c++ {
 		if tracker.Capacity() > 0 && tracker.Used(c) >= tracker.Capacity() {
 			continue

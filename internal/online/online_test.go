@@ -229,6 +229,105 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestHysteresisRegretSurvivesDeniedMove pins the capacity-denial
+// accounting bug: the hysteresis account must reset only when the
+// placement actually changes, not when the policy merely *decides* to
+// move. On this instance (3x1 array, capacity 1, factor 2) item 1's
+// move from processor 0 to processor 1 is denied in window 2 because
+// item 0 still holds the only slot there; the accumulated regret has
+// to survive that denial so the move happens in window 3, as soon as
+// item 0 vacates to processor 2. Pre-fix, decide zeroed the account at
+// decision time, the denied move restarted the rent-or-buy clock, and
+// item 1 stayed stranded on processor 0.
+func TestHysteresisRegretSurvivesDeniedMove(t *testing.T) {
+	g := grid.New(3, 1)
+	tr := trace.New(g, 2)
+	w0 := tr.AddWindow() // item 0 anchors on proc 1, item 1 on proc 0
+	w0.AddVolume(1, 0, 10)
+	w0.AddVolume(0, 1, 2)
+	for w := 1; w < 3; w++ { // item 1 regrets +1 per window, threshold 2
+		win := tr.AddWindow()
+		win.AddVolume(1, 0, 10)
+		win.AddVolume(1, 1, 1)
+	}
+	w3 := tr.AddWindow() // item 0 is pulled away to proc 2, freeing proc 1
+	w3.AddVolume(2, 0, 10)
+	w3.AddVolume(1, 1, 1)
+
+	p := sched.NewProblem(tr, 1)
+	s, err := Scheduler{Policy: Hysteresis, Factor: 2}.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 2: the move is desired (regret 2 >= factor*moveCost 2) but
+	// capacity-denied, so item 1 is forced back to processor 0. This
+	// guards the premise of the regression.
+	if got := s.Centers[2][1]; got != 0 {
+		t.Fatalf("window 2: item 1 on processor %d, want capacity-denied stay on 0", got)
+	}
+	if got := s.Centers[3][0]; got != 2 {
+		t.Fatalf("window 3: item 0 on processor %d, want 2 (vacating the contested slot)", got)
+	}
+	// Window 3: processor 1 is free and the surviving account (now 3)
+	// is past the threshold, so the move must finally happen.
+	if got := s.Centers[3][1]; got != 1 {
+		t.Fatalf("window 3: item 1 on processor %d, want 1 (denied move must retry once a slot frees)", got)
+	}
+}
+
+// TestUnreferencedItemsSpreadCyclically pins the initial-placement
+// hotspot: items the first window never references have an all-zero
+// residence row, and the argmin used to park every one of them on
+// processor 0. They must spread cyclically instead.
+func TestUnreferencedItemsSpreadCyclically(t *testing.T) {
+	g := grid.Square(2)
+	tr := trace.New(g, 8)
+	tr.AddWindow() // no references at all
+	p := sched.NewProblem(tr, 0)
+	for _, policy := range []Policy{StayPut, Chase, Hysteresis} {
+		s, err := Scheduler{Policy: policy}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := make([]int, g.NumProcs())
+		for d := 0; d < 8; d++ {
+			used[s.Centers[0][d]]++
+		}
+		for proc, n := range used {
+			if n != 2 {
+				t.Fatalf("%v: processor %d holds %d of 8 unreferenced items, want an even 2 (placements %v)",
+					policy, proc, n, s.Centers[0])
+			}
+		}
+	}
+}
+
+// TestLateReferencedNoDegradation: on a workload whose items are only
+// referenced after an idle first window — each by the processor whose
+// cyclic slot the item already occupies — StayPut and Chase must both
+// achieve zero cost. Pre-fix, the all-on-processor-0 initial parking
+// made StayPut pay remote references forever and Chase pay a migration
+// per item.
+func TestLateReferencedNoDegradation(t *testing.T) {
+	g := grid.Square(2)
+	tr := trace.New(g, 4)
+	tr.AddWindow() // idle window: nothing referenced yet
+	w1 := tr.AddWindow()
+	for d := 0; d < 4; d++ {
+		w1.AddVolume(d, trace.DataID(d), 5)
+	}
+	p := sched.NewProblem(tr, 0)
+	for _, policy := range []Policy{StayPut, Chase} {
+		s, err := Scheduler{Policy: policy}.Schedule(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Model.TotalCost(s); got != 0 {
+			t.Fatalf("%v: total cost %d on the aligned late-reference workload, want 0", policy, got)
+		}
+	}
+}
+
 func BenchmarkHysteresis(b *testing.B) {
 	rng := rand.New(rand.NewSource(65))
 	g := grid.Square(4)

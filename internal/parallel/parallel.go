@@ -52,18 +52,55 @@ func ForEachN(n, workers int, fn func(i int)) {
 }
 
 // MapReduce applies fn(i) for every i in [0, n) in parallel and
-// combines the results with merge. merge is called serially, so it
-// needs no synchronization, but the combination order is unspecified;
-// merge must be commutative and associative for a deterministic result.
+// combines the results with merge, always in ascending index order:
+// each worker folds its contiguous block serially, and the per-worker
+// accumulators are then folded in block order. merge therefore needs no
+// synchronization and no commutativity — it must be associative with
+// zero as its left identity, and must not mutate its arguments (every
+// worker starts its fold from the same zero) — and the result is
+// deterministic. Only O(workers) intermediate storage is allocated,
+// not O(n).
 func MapReduce[T any](n int, fn func(i int) T, zero T, merge func(a, b T) T) T {
+	return MapReduceN(n, runtime.GOMAXPROCS(0), fn, zero, merge)
+}
+
+// MapReduceN is MapReduce with an explicit worker count, primarily for
+// tests and scaling benchmarks. workers < 1 is treated as 1.
+func MapReduceN[T any](n, workers int, fn func(i int) T, zero T, merge func(a, b T) T) T {
 	if n <= 0 {
 		return zero
 	}
-	results := make([]T, n)
-	ForEach(n, func(i int) { results[i] = fn(i) })
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = merge(acc, fn(i))
+		}
+		return acc
+	}
+	partial := make([]T, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		// Static block partition: worker w folds [lo, hi) into its own
+		// accumulator, preserving index order within the block.
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := zero
+			for i := lo; i < hi; i++ {
+				acc = merge(acc, fn(i))
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	acc := zero
-	for _, r := range results {
-		acc = merge(acc, r)
+	for _, p := range partial {
+		acc = merge(acc, p)
 	}
 	return acc
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -73,6 +74,58 @@ func TestMapReduceMax(t *testing.T) {
 		})
 	if got != 9 {
 		t.Fatalf("max = %d", got)
+	}
+}
+
+// MapReduce documents a deterministic index-order merge, so a
+// non-commutative (but associative) merge — string concatenation —
+// must reproduce the serial left fold exactly for every worker count.
+func TestMapReduceIndexOrder(t *testing.T) {
+	concat := func(a, b string) string { return a + b }
+	for _, n := range []int{0, 1, 2, 7, 57, 256} {
+		want := ""
+		for i := 0; i < n; i++ {
+			want += string(rune('a' + i%26))
+		}
+		for _, workers := range []int{-1, 0, 1, 2, 3, 8, 64} {
+			got := MapReduceN(n, workers, func(i int) string { return string(rune('a' + i%26)) }, "", concat)
+			if got != want {
+				t.Fatalf("n=%d workers=%d: %q, want serial fold %q", n, workers, got, want)
+			}
+		}
+		if got := MapReduce(n, func(i int) string { return string(rune('a' + i%26)) }, "", concat); got != want {
+			t.Fatalf("n=%d: MapReduce %q, want %q", n, got, want)
+		}
+	}
+}
+
+// The reduction must keep one accumulator per worker, not one slot per
+// index: a million-element sum may not allocate anywhere near the 8 MiB
+// an O(n) intermediate-results slice would cost. (Fails against the
+// old implementation, which materialized every fn(i) before merging.)
+func TestMapReduceAllocatesPerWorkerNotPerItem(t *testing.T) {
+	const n = 1 << 20
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if got := SumInt64(n, func(i int) int64 { return int64(i) }); got != int64(n)*(n-1)/2 {
+		t.Fatalf("sum = %d", got)
+	}
+	runtime.ReadMemStats(&after)
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > n*4 {
+		t.Fatalf("MapReduce allocated %d bytes on %d items — O(n) intermediate storage is back", alloc, n)
+	}
+}
+
+// The rewritten reduction keeps only one accumulator per worker; the
+// benchmark's allocs/op makes a regression back to O(n) storage visible.
+func BenchmarkMapReduceSum(b *testing.B) {
+	const n = 1 << 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := SumInt64(n, func(i int) int64 { return int64(i) }); got != int64(n)*(n-1)/2 {
+			b.Fatalf("sum = %d", got)
+		}
 	}
 }
 

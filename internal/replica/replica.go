@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/grid"
 	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -110,8 +111,16 @@ func Evaluate(p *sched.Problem, s Schedule) Breakdown {
 	return bd
 }
 
+// nearest returns the distance from a processor to the closest of the
+// given copies. An empty copy set has no nearest-copy distance; pricing
+// it would silently charge the Unreachable sentinel per reference, so
+// nearest panics — Validate reports the same malformed schedules as
+// errors for callers that want to check first.
 func nearest(p *sched.Problem, from int, copies []int) int {
-	best := 1 << 30
+	if len(copies) == 0 {
+		panic("replica: empty copy set (schedule must keep at least one copy per item per window)")
+	}
+	best := grid.Unreachable
 	for _, c := range copies {
 		if d := p.Model.Dist(from, c); d < best {
 			best = d

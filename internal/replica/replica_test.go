@@ -158,6 +158,28 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
+// TestEvaluateRejectsEmptyCopySet pins the silent-sentinel bug:
+// pricing a schedule that leaves an item with no copy used to charge
+// every reference the raw 1<<30 distance sentinel and return a
+// nonsense ~10^9 total. Evaluate must panic instead — an empty copy
+// set is a corrupt schedule, not an expensive one (Validate reports
+// the same corruption as an error for callers that check first).
+func TestEvaluateRejectsEmptyCopySet(t *testing.T) {
+	tr := trace.New(grid.Square(2), 1)
+	tr.AddWindow().Add(0, 0)
+	p := sched.NewProblem(tr, 0)
+	s := Schedule{Copies: [][][]int{{nil}}} // one window, item 0 has no copy
+	if err := s.Validate(p); err == nil {
+		t.Fatal("Validate accepted an empty copy set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Evaluate priced an empty copy set instead of panicking")
+		}
+	}()
+	Evaluate(p, s)
+}
+
 func TestInfeasibleRejected(t *testing.T) {
 	tr := trace.New(grid.Square(2), 10)
 	tr.AddWindow().Add(0, 0)

@@ -120,17 +120,8 @@ func (SCDS) Schedule(p *Problem) (cost.Schedule, error) {
 
 	// Total residence cost of each item at each candidate center,
 	// aggregated over every window (the merged single execution
-	// window). Parallel over items.
-	agg := make([][]int64, nd)
-	parallel.ForEach(nd, func(d int) {
-		row := make([]int64, np)
-		for w := 0; w < nw; w++ {
-			for c := 0; c < np; c++ {
-				row[c] += p.Table[w][d][c]
-			}
-		}
-		agg[d] = row
-	})
+	// window), priced separably from the whole-run volume histograms.
+	agg := p.Model.BuildAggregateTable()
 
 	// Assignment is sequential: items compete for memory slots in ID
 	// order, exactly as Algorithm 1's outer loop iterates.
@@ -168,27 +159,18 @@ func (LOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 	centers := make([][]int, nw)
 
 	// Whole-run aggregate residence, used to pre-place items before
-	// their first reference; and the per-(window, item) referenced-ness.
-	agg := make([][]int64, nd)
+	// their first reference (priced separably from the whole-run volume
+	// histograms); and the per-(window, item) referenced-ness.
+	agg := p.Model.BuildAggregateTable()
 	referenced := make([][]bool, nw)
 	for w := range referenced {
 		referenced[w] = make([]bool, nd)
 	}
 	counts := p.Model.Counts()
 	parallel.ForEach(nd, func(d int) {
-		row := make([]int64, np)
 		for w := 0; w < nw; w++ {
-			for c := 0; c < np; c++ {
-				row[c] += p.Table[w][d][c]
-			}
-			for _, v := range counts[w][d] {
-				if v != 0 {
-					referenced[w][d] = true
-					break
-				}
-			}
+			referenced[w][d] = counts.Referenced(w, trace.DataID(d))
 		}
-		agg[d] = row
 	})
 
 	prev := make([]int, nd)

@@ -134,6 +134,19 @@ func (t *Trace) BuildCounts() Counts {
 	return counts
 }
 
+// Referenced reports whether any processor references data item d in
+// window w, i.e. whether the count row carries any volume. Schedulers
+// use it to tell "this window defines no center for the item" apart
+// from a genuine placement preference.
+func (c Counts) Referenced(w int, d DataID) bool {
+	for _, v := range c[w][d] {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // ProcessorReferenceString returns, for window w, the ordered sequence
 // of processors that reference data item d (Definition 1 in the paper).
 func (t *Trace) ProcessorReferenceString(w int, d DataID) []int {

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Residence-kernel benchmark snapshot: runs BenchmarkResidenceKernel
+# (separable prefix-sum kernel vs naive per-cell kernel on a 16x16
+# array with dense windows), prints the raw benchstat-compatible
+# output, and records ns/op for both kernels plus the speedup in
+# BENCH_RESIDENCE.json. Compare two runs with:
+#
+#	scripts/bench.sh > old.txt   # on the baseline commit
+#	scripts/bench.sh > new.txt
+#	benchstat old.txt new.txt
+#
+# Usage: scripts/bench.sh [count]   (default -count 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-5}"
+RAW="$(go test -run '^$' -bench '^BenchmarkResidenceKernel$' -benchmem -count "$COUNT" .)"
+echo "$RAW"
+
+echo "$RAW" | awk -v count="$COUNT" '
+/^BenchmarkResidenceKernel\/separable/ { sep += $3; nsep++ }
+/^BenchmarkResidenceKernel\/naive/     { nai += $3; nnai++ }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+END {
+	if (nsep == 0 || nnai == 0) {
+		print "bench.sh: no benchmark samples parsed" > "/dev/stderr"
+		exit 1
+	}
+	sep /= nsep; nai /= nnai
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkResidenceKernel\",\n"
+	printf "  \"grid\": \"16x16\",\n"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"count\": %d,\n", count
+	printf "  \"separable_ns_per_op\": %.0f,\n", sep
+	printf "  \"naive_ns_per_op\": %.0f,\n", nai
+	printf "  \"speedup\": %.2f\n", nai / sep
+	printf "}\n"
+}' > BENCH_RESIDENCE.json
+
+echo
+echo "bench.sh: wrote BENCH_RESIDENCE.json"
+cat BENCH_RESIDENCE.json

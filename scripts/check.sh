@@ -15,4 +15,16 @@ go vet ./...
 echo "== go test -race =="
 go test -race "$@" ./...
 
+# Fuzz smoke: run each fuzz target's engine briefly under the race
+# detector on top of the committed seed corpus. `go test -fuzz` accepts
+# a pattern matching exactly one target, hence one invocation per
+# target. FUZZTIME=0 skips the engine runs (seeds still ran above).
+FUZZTIME="${FUZZTIME:-10s}"
+if [ "$FUZZTIME" != "0" ]; then
+	echo "== fuzz smoke (-race, $FUZZTIME per target) =="
+	go test -race -run '^$' -fuzz '^FuzzResidenceKernels$' -fuzztime "$FUZZTIME" ./internal/verify
+	go test -race -run '^$' -fuzz '^FuzzVerifyCost$' -fuzztime "$FUZZTIME" ./internal/verify
+	go test -race -run '^$' -fuzz '^FuzzCheckSchedule$' -fuzztime "$FUZZTIME" ./internal/verify
+fi
+
 echo "check.sh: all gates passed"
