@@ -1,0 +1,98 @@
+// Command pimserve runs the scheduling service over HTTP: a
+// long-running pool of workers that schedules traces on demand, with a
+// fingerprint-keyed cache of cost models and residence tables shared
+// across requests.
+//
+// Start a server and schedule a trace:
+//
+//	pimserve -addr :8080 &
+//	curl -X POST -d @request.json 'localhost:8080/schedule?verify=true'
+//	curl localhost:8080/stats
+//
+// The request body is JSON: {"trace": "<pimtrace v1 text>",
+// "algorithm": "gomcds", "capacity": 2}. See examples/pimserve for a
+// runnable walkthrough. The server sheds load with 429 + Retry-After
+// once -inflight computations are running, times requests out after
+// -timeout, and drains in-flight work on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	inflight := fs.Int("inflight", 2*runtime.GOMAXPROCS(0), "max concurrent schedule computations; 0 = unbounded")
+	cacheSize := fs.Int("cache", service.DefaultCacheSize, "residence-table cache entries")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 = none")
+	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "request body limit in bytes")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, ln, service.Config{
+		MaxInflight:  *inflight,
+		CacheSize:    *cacheSize,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+	}, *drain, out)
+}
+
+// serve runs the service on the listener until ctx is cancelled, then
+// shuts the HTTP server down gracefully and drains the service's
+// in-flight computations. Split from run so tests can drive it on an
+// ephemeral port.
+func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.Duration, out io.Writer) error {
+	svc := service.New(cfg)
+	server := &http.Server{Handler: svc.Handler()}
+
+	fmt.Fprintf(out, "pimserve: listening on %s (inflight %d, cache %d, timeout %v)\n",
+		ln.Addr(), cfg.MaxInflight, cfg.CacheSize, cfg.Timeout)
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "pimserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := server.Shutdown(shutdownCtx)
+	if closeErr := svc.Close(); err == nil {
+		err = closeErr
+	}
+	<-errc // Serve has returned http.ErrServerClosed by now
+	fmt.Fprintln(out, "pimserve: drained")
+	return err
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/service"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// syncBuffer makes the server's log writer safe to read while serve is
+// still running in another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestServeEndToEndAndGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve(ctx, ln, service.Config{MaxInflight: 4, Timeout: 10 * time.Second}, 5*time.Second, out)
+	}()
+
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	var traceBuf bytes.Buffer
+	gen, err := workload.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Encode(&traceBuf, gen.Generate(8, grid.Square(4))); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(service.Request{Trace: traceBuf.String(), Algorithm: "gomcds", Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/schedule?verify=true", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: status %d: %s", resp.StatusCode, data)
+	}
+	var sr service.Response
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Verified == nil || len(sr.Centers) == 0 {
+		t.Fatalf("incomplete response: %+v", sr)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Completed != 1 {
+		t.Fatalf("stats.Completed = %d, want 1", st.Completed)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	log := out.String()
+	for _, want := range []string{"listening on", "shutting down", "drained"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log %q missing %q", log, want)
+		}
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Fatal("run accepted an unlistenable address")
+	}
+}
+
+func TestRunServesOnEphemeralPort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-inflight", "2", "-timeout", "5s"}, out)
+	}()
+
+	// The listen address is only printed once the listener is up; poll
+	// the log for it.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address in log: %q", out.String())
+		}
+		if log := out.String(); strings.Contains(log, "listening on ") {
+			rest := log[strings.Index(log, "listening on ")+len("listening on "):]
+			base = "http://" + strings.Fields(rest)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitHealthy(t, base)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}

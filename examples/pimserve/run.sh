@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# End-to-end pimserve walkthrough: start the server on an ephemeral
+# port, schedule the same trace twice (the second request is a cache
+# hit), show the verified cost and the cache telemetry, then shut the
+# server down gracefully. Requires curl; uses jq to build a request
+# from a freshly generated trace when available, otherwise falls back
+# to the committed request.json.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+PORT="${PORT:-18080}"
+BASE="http://localhost:$PORT"
+
+go build -o /tmp/pimserve ./cmd/pimserve
+/tmp/pimserve -addr "localhost:$PORT" &
+SERVER=$!
+trap 'kill -TERM $SERVER 2>/dev/null; wait $SERVER 2>/dev/null || true' EXIT
+
+for _ in $(seq 50); do
+	curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+
+REQ=examples/pimserve/request.json
+if command -v jq >/dev/null; then
+	# Build the same request from scratch: a pimtrace v1 trace goes
+	# inline as a JSON string.
+	go run ./cmd/pimtrace -gen lu -n 8 -grid 4x4 |
+		jq -Rs '{trace: ., algorithm: "gomcds", capacity: 8}' > /tmp/pimserve-request.json
+	REQ=/tmp/pimserve-request.json
+fi
+
+echo "== first request (cache miss, verify=true) =="
+curl -s -X POST "$BASE/schedule?verify=true" --data-binary @"$REQ" |
+	(jq 'del(.centers)' 2>/dev/null || cat)
+
+echo "== second request, same trace (cache hit) =="
+curl -s -X POST "$BASE/schedule" --data-binary @"$REQ" |
+	(jq '{algorithm, cost, fingerprint, cache_hit}' 2>/dev/null || cat)
+
+echo "== /stats: one table built, one cache hit =="
+curl -s "$BASE/stats"
+
+echo "== graceful shutdown =="
+kill -TERM $SERVER
+wait $SERVER || true
+trap - EXIT
+echo "done"

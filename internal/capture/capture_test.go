@@ -116,6 +116,73 @@ func TestConcurrentPerProcessorRecording(t *testing.T) {
 	}
 }
 
+// TestConcurrentRecordingEqualsSerial drives one goroutine per
+// processor through several barriers — the natural instrumentation of
+// an SPMD program — and requires the result to be byte-identical to the
+// same event sequence recorded serially. Under -race this doubles as
+// the recorder's concurrency referee: any unsynchronized access to the
+// per-processor buffers or the window list trips the detector.
+func TestConcurrentRecordingEqualsSerial(t *testing.T) {
+	g := grid.New(4, 3)
+	const numData, steps, refsPerStep = 48, 5, 20
+
+	// events(p, step) is a deterministic per-processor program, so the
+	// serial and concurrent recordings see exactly the same input.
+	events := func(p, step int) []trace.Ref {
+		refs := make([]trace.Ref, 0, refsPerStep)
+		for i := 0; i < refsPerStep; i++ {
+			refs = append(refs, trace.Ref{
+				Proc:   p,
+				Data:   trace.DataID((p*31 + step*17 + i*7) % numData),
+				Volume: 1 + (p+step+i)%3,
+			})
+		}
+		return refs
+	}
+
+	conc := NewRecorder(g, numData)
+	for step := 0; step < steps; step++ {
+		var wg sync.WaitGroup
+		for p := 0; p < g.NumProcs(); p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for _, ref := range events(p, step) {
+					conc.TouchVolume(ref.Proc, ref.Data, ref.Volume)
+				}
+			}(p)
+		}
+		wg.Wait()
+		conc.Barrier()
+	}
+
+	serial := NewRecorder(g, numData)
+	for step := 0; step < steps; step++ {
+		for p := 0; p < g.NumProcs(); p++ {
+			for _, ref := range events(p, step) {
+				serial.TouchVolume(ref.Proc, ref.Data, ref.Volume)
+			}
+		}
+		serial.Barrier()
+	}
+
+	got, want := conc.Finish(), serial.Finish()
+	if got.NumWindows() != want.NumWindows() || got.NumRefs() != want.NumRefs() {
+		t.Fatalf("shape mismatch: %d/%d windows, %d/%d refs",
+			got.NumWindows(), want.NumWindows(), got.NumRefs(), want.NumRefs())
+	}
+	for w := range want.Windows {
+		for i, ref := range want.Windows[w].Refs {
+			if got.Windows[w].Refs[i] != ref {
+				t.Fatalf("window %d ref %d: concurrent %v != serial %v", w, i, got.Windows[w].Refs[i], ref)
+			}
+		}
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatal("concurrent and serial recordings have different fingerprints")
+	}
+}
+
 func TestNumWindows(t *testing.T) {
 	r := NewRecorder(grid.Square(2), 1)
 	if r.NumWindows() != 0 {

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"context"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// The schedulers and the residence-table builder are pure CPU-bound
+// loops with no internal cancellation points, so the context-aware
+// wrappers below run the work in a goroutine and select against the
+// context. When the context expires first the caller gets control back
+// immediately and the abandoned computation runs to completion in the
+// background with its result discarded; callers that bound concurrency
+// (such as the scheduling service's worker pool) should release their
+// slot only when the background work has actually finished, via the
+// done callback variants.
+
+// NewProblemContext is NewProblem under a context: it builds the cost
+// model and residence table unless the context expires first, in which
+// case it returns the context's error. The abandoned build completes in
+// the background.
+func NewProblemContext(ctx context.Context, t *trace.Trace, capacity int) (*Problem, error) {
+	return await(ctx, func() (*Problem, error) {
+		return NewProblem(t, capacity), nil
+	})
+}
+
+// RunContext runs s.Schedule(p) unless the context expires first.
+func RunContext(ctx context.Context, s Scheduler, p *Problem) (cost.Schedule, error) {
+	return await(ctx, func() (cost.Schedule, error) {
+		return s.Schedule(p)
+	})
+}
+
+// RunContextDone is RunContext with a completion hook: done is called
+// exactly once, when the underlying scheduler run actually finishes —
+// even if the context expired and RunContextDone already returned.
+// Worker pools use it to hold their concurrency slot for the full
+// lifetime of the computation, not just of the request.
+func RunContextDone(ctx context.Context, s Scheduler, p *Problem, done func()) (cost.Schedule, error) {
+	return awaitDone(ctx, func() (cost.Schedule, error) {
+		return s.Schedule(p)
+	}, done)
+}
+
+// await runs fn in a goroutine and waits for it or the context,
+// whichever finishes first.
+func await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
+	return awaitDone(ctx, fn, nil)
+}
+
+func awaitDone[T any](ctx context.Context, fn func() (T, error), done func()) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		if done != nil {
+			done()
+		}
+		return zero, err
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := fn()
+		ch <- result{v, err}
+		if done != nil {
+			done()
+		}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}

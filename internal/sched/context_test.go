@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+func contextTrace() *trace.Trace {
+	tr := trace.New(grid.Square(2), 3)
+	w := tr.AddWindow()
+	w.Add(0, 0)
+	w.Add(1, 1)
+	w.Add(3, 2)
+	w = tr.AddWindow()
+	w.Add(2, 0)
+	w.Add(3, 1)
+	return tr
+}
+
+func TestNewProblemContextMatchesNewProblem(t *testing.T) {
+	tr := contextTrace()
+	got, err := NewProblemContext(context.Background(), tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewProblem(tr, 2)
+	if got.Capacity != want.Capacity || got.Model.NumData != want.Model.NumData {
+		t.Fatal("problems differ")
+	}
+	for w := range want.Table {
+		for d := range want.Table[w] {
+			for c := range want.Table[w][d] {
+				if got.Table[w][d][c] != want.Table[w][d][c] {
+					t.Fatalf("table cell [%d][%d][%d] differs", w, d, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunContextMatchesDirectRun(t *testing.T) {
+	tr := contextTrace()
+	p := NewProblem(tr, 0)
+	for _, s := range All() {
+		got, err := RunContext(context.Background(), s, p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		want, err := s.Schedule(p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: RunContext schedule differs from direct run", s.Name())
+		}
+	}
+}
+
+func TestRunContextExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewProblem(contextTrace(), 0)
+	if _, err := RunContext(ctx, GOMCDS{}, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := NewProblemContext(ctx, contextTrace(), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NewProblemContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextDoneFiresAfterAbandonment pins the worker-pool
+// contract: the done hook fires exactly once, when the abandoned run
+// actually completes, so a concurrency slot is never released while the
+// computation still burns a CPU.
+func TestRunContextDoneFiresAfterAbandonment(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		_, err := awaitDone(ctx, func() (int, error) {
+			close(started)
+			<-release // simulate a long scheduler run
+			return 42, nil
+		}, func() { close(done) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+		t.Fatal("done fired before the abandoned run finished")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("done never fired after the run completed")
+	}
+}
+
+// TestRunContextDoneExpiredBeforeStart: with an already-dead context no
+// run starts, and done still fires so slot accounting balances.
+func TestRunContextDoneExpiredBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fired := false
+	_, err := RunContextDone(ctx, SCDS{}, NewProblem(contextTrace(), 0), func() { fired = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !fired {
+		t.Fatal("done did not fire for an expired context")
+	}
+}

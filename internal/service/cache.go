@@ -1,0 +1,86 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// cacheEntry is one cached {cost model, residence table} pair. The
+// fields are written exactly once by the elected builder, before ready
+// is closed; readers must wait on ready first (the close establishes
+// the happens-before edge), so no lock is needed after that.
+type cacheEntry struct {
+	fp    trace.Fingerprint
+	ready chan struct{}
+	model *cost.Model
+	table cost.ResidenceTable
+}
+
+// tableCache is the fingerprint-keyed LRU with singleflight semantics:
+// acquire elects exactly one builder per fingerprint; concurrent misses
+// on the same key piggyback on the in-flight build instead of building
+// their own table (the stampede guard the load tests pin down).
+//
+// Entries are evicted strictly by recency. Evicting an entry that is
+// still being built is harmless: the builder and its waiters hold the
+// *cacheEntry directly, so the build completes and serves them; only
+// future requests re-miss.
+type tableCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	items map[trace.Fingerprint]*list.Element
+
+	hits, misses, sharedBuilds, evictions uint64
+}
+
+func newTableCache(max int) *tableCache {
+	return &tableCache{max: max, ll: list.New(), items: make(map[trace.Fingerprint]*list.Element)}
+}
+
+// acquire returns the cache entry for fp and whether the caller has
+// been elected to build it. When builder is false the caller must wait
+// on entry.ready before touching model/table.
+func (c *tableCache) acquire(fp trace.Fingerprint) (entry *cacheEntry, builder bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			c.hits++
+		default:
+			c.sharedBuilds++ // concurrent miss: reuse the in-flight build
+		}
+		return e, false
+	}
+	c.misses++
+	e := &cacheEntry{fp: fp, ready: make(chan struct{})}
+	c.items[fp] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).fp)
+		c.evictions++
+	}
+	return e, true
+}
+
+// publish installs the built model and table and wakes all waiters.
+// Only the elected builder may call it, exactly once.
+func (c *tableCache) publish(e *cacheEntry, m *cost.Model, t cost.ResidenceTable) {
+	e.model = m
+	e.table = t
+	close(e.ready)
+}
+
+// counters returns a snapshot of the cache statistics.
+func (c *tableCache) counters() (hits, misses, sharedBuilds, evictions uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.sharedBuilds, c.evictions, c.ll.Len()
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /schedule[?verify=true]  run a scheduler over an inline trace
+//	GET  /healthz                 liveness (503 once shutdown began)
+//	GET  /stats                   counter snapshot as JSON
+//
+// Error responses are JSON objects {"error": "..."} with the status
+// conveying the class: 400 malformed request, 404 unknown path, 405 bad
+// method, 413 oversized body, 429 shed load (with Retry-After), 503
+// shutting down, 504 deadline expired, 500 internal inconsistency.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", s.handleSchedule)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "decode request: "+err.Error())
+		return
+	}
+	if v := r.URL.Query().Get("verify"); v == "true" || v == "1" {
+		req.Verify = true
+	}
+
+	resp, err := s.Schedule(r.Context(), req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case isRequestError(err):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusTooManyRequests
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			status = http.StatusGatewayTimeout
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.Closed() {
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing useful to do with a write error mid-response
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,295 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+)
+
+func postJSON(t testing.TB, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeError(t testing.TB, data []byte) string {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v (%q)", err, data)
+	}
+	if e.Error == "" {
+		t.Fatalf("error body has no error field: %q", data)
+	}
+	return e.Error
+}
+
+func TestHTTPScheduleEndToEnd(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	text := traceText(t, "lu", 8, grid.Square(4))
+	wantCenters, wantCost := directRun(t, text, "gomcds", 8)
+
+	for i := 0; i < 2; i++ {
+		resp, data := postJSON(t, ts.Client(), ts.URL+"/schedule?verify=true",
+			Request{Trace: text, Algorithm: "gomcds", Capacity: 8})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		var out Response
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out.Centers, wantCenters) || out.Cost != wantCost {
+			t.Fatalf("request %d: response differs from direct sched run", i)
+		}
+		if out.Verified == nil || *out.Verified != wantCost {
+			t.Fatalf("request %d: verified breakdown missing or wrong: %+v", i, out.Verified)
+		}
+		if wantHit := i > 0; out.CacheHit != wantHit {
+			t.Fatalf("request %d: CacheHit = %v, want %v", i, out.CacheHit, wantHit)
+		}
+		if out.Grid != "4x4" || out.NumWindows == 0 || out.Fingerprint == "" {
+			t.Fatalf("request %d: bad metadata: %+v", i, out)
+		}
+	}
+}
+
+func TestHTTPScheduleErrorPaths(t *testing.T) {
+	svc := New(Config{MaxBodyBytes: 1 << 16})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	good := traceText(t, "lu", 4, grid.Square(2))
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := client.Post(ts.URL+"/schedule", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	t.Run("wrong method", func(t *testing.T) {
+		resp, err := client.Get(ts.URL + "/schedule")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Fatalf("Allow = %q, want POST", allow)
+		}
+	})
+	t.Run("malformed json", func(t *testing.T) {
+		resp, data := post("{not json")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, data)
+		}
+		decodeError(t, data)
+	})
+	t.Run("unknown field", func(t *testing.T) {
+		resp, data := post(`{"trace": "x", "algorithm": "scds", "bogus": 1}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, data)
+		}
+	})
+	t.Run("bad trace", func(t *testing.T) {
+		resp, data := post(`{"trace": "garbage", "algorithm": "scds"}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, data)
+		}
+		if msg := decodeError(t, data); !strings.Contains(msg, "line 1") {
+			t.Fatalf("error %q does not cite the offending line", msg)
+		}
+	})
+	t.Run("unknown algorithm", func(t *testing.T) {
+		resp, _ := postJSON(t, client, ts.URL+"/schedule", Request{Trace: good, Algorithm: "bogus"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("infeasible capacity", func(t *testing.T) {
+		resp, _ := postJSON(t, client, ts.URL+"/schedule",
+			Request{Trace: traceText(t, "lu", 8, grid.Square(2)), Algorithm: "gomcds", Capacity: 1})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("oversized body", func(t *testing.T) {
+		resp, data := post(fmt.Sprintf(`{"trace": %q, "algorithm": "scds"}`,
+			"pimtrace v1\n#"+strings.Repeat("x", 1<<16)))
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d, want 413 (%s)", resp.StatusCode, data)
+		}
+	})
+	t.Run("unknown path", func(t *testing.T) {
+		resp, err := client.Get(ts.URL + "/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404", resp.StatusCode)
+		}
+	})
+}
+
+func TestHTTPHealthzAndStats(t *testing.T) {
+	svc := New(Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Wrong methods on the read-only endpoints.
+	for _, path := range []string{"/healthz", "/stats"} {
+		resp, err := client.Post(ts.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: status = %d, want 405", path, resp.StatusCode)
+		}
+	}
+
+	// Stats reflects traffic.
+	text := traceText(t, "lu", 4, grid.Square(2))
+	postJSON(t, client, ts.URL+"/schedule", Request{Trace: text, Algorithm: "scds"})
+	resp, err = client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 1 || st.Completed != 1 || st.TablesBuilt != 1 {
+		t.Fatalf("stats after one request: %+v", st)
+	}
+
+	// After Close: healthz flips to 503, schedule is refused with 503.
+	svc.Close()
+	resp, err = client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close: status = %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, client, ts.URL+"/schedule", Request{Trace: text, Algorithm: "scds"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("schedule after Close: status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPLoadShedding(t *testing.T) {
+	svc := New(Config{MaxInflight: 1})
+	defer svc.Close()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	svc.testHookRunning = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	text := traceText(t, "lu", 4, grid.Square(2))
+
+	// No t.Fatal off the test goroutine: report via the channel.
+	first := make(chan int, 1)
+	go func() {
+		b, _ := json.Marshal(Request{Trace: text, Algorithm: "scds"})
+		resp, err := ts.Client().Post(ts.URL+"/schedule", "application/json", bytes.NewReader(b))
+		if err != nil {
+			first <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	<-entered
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/schedule", Request{Trace: text, Algorithm: "scds"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response lacks Retry-After")
+	}
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first request: status = %d, want 200", code)
+	}
+}
+
+func TestHTTPDeadlineExpiry(t *testing.T) {
+	svc := New(Config{Timeout: time.Nanosecond})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	text := traceText(t, "lu", 8, grid.Square(4))
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/schedule", Request{Trace: text, Algorithm: "gomcds"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%s)", resp.StatusCode, data)
+	}
+	decodeError(t, data)
+}

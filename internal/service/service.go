@@ -1,0 +1,388 @@
+// Package service turns the one-shot schedulers of internal/sched into
+// a long-running, concurrency-bounded scheduling service: the substrate
+// the ROADMAP's "heavy traffic" north star builds on.
+//
+// A Service accepts schedule requests (a trace in the pimtrace v1 text
+// codec plus an algorithm name and memory capacity), runs the requested
+// scheduler, and returns the center matrix with its cost breakdown.
+// Three properties distinguish it from calling sched directly:
+//
+//   - Model reuse. Cost models and residence tables — the dominant cost
+//     of a scheduler run — are cached in an LRU keyed by the trace's
+//     canonical trace.Fingerprint. Requests carrying a trace already
+//     seen skip the rebuild entirely; concurrent misses on the same
+//     fingerprint are deduplicated so the table is built exactly once
+//     (singleflight).
+//   - Bounded concurrency. At most MaxInflight schedule computations
+//     run at once; excess load is shed immediately with ErrOverloaded
+//     (HTTP 429 + Retry-After) instead of queuing unboundedly.
+//   - Deadlines and drain. Every request runs under a context; when it
+//     expires the caller gets the context error at once while the
+//     abandoned computation finishes in the background, still holding
+//     its concurrency slot. Close refuses new requests and waits for
+//     all in-flight work, so shutdown never strands a computation.
+//
+// The cached entries are capacity-independent (the residence table
+// depends only on the trace), so requests that share a trace but differ
+// in algorithm or capacity still share one table.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCacheSize    = 64
+	DefaultMaxBodyBytes = 32 << 20
+)
+
+// ErrOverloaded is returned when MaxInflight computations are already
+// running; the HTTP layer maps it to 429 with a Retry-After header.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// ErrClosed is returned for requests arriving after Close began.
+var ErrClosed = errors.New("service: shutting down")
+
+// RequestError marks a client-side error (malformed trace, unknown
+// algorithm, oversized body); the HTTP layer maps it to 400.
+type RequestError struct {
+	Err error
+}
+
+func (e *RequestError) Error() string { return "service: bad request: " + e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// Config tunes a Service. The zero value is usable: unbounded
+// concurrency, no server-side deadline, DefaultCacheSize cache entries
+// and DefaultMaxBodyBytes request bodies.
+type Config struct {
+	// MaxInflight bounds concurrent schedule computations (table builds
+	// and scheduler runs); <= 0 means unbounded. Excess requests are
+	// shed with ErrOverloaded, never queued.
+	MaxInflight int
+
+	// CacheSize is the number of {model, residence table} entries the
+	// fingerprint-keyed LRU holds; <= 0 means DefaultCacheSize.
+	CacheSize int
+
+	// Timeout is the server-side deadline applied to every request on
+	// top of the caller's context; <= 0 means none.
+	Timeout time.Duration
+
+	// MaxBodyBytes bounds the request body and the inline trace text;
+	// <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+func (c Config) cacheSize() int {
+	if c.CacheSize <= 0 {
+		return DefaultCacheSize
+	}
+	return c.CacheSize
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return DefaultMaxBodyBytes
+	}
+	return c.MaxBodyBytes
+}
+
+// Request is one scheduling job: a trace in the pimtrace v1 text
+// format, the algorithm to run, and the per-processor memory capacity
+// (0 = unbounded). Verify additionally re-checks the schedule with the
+// independent referee (internal/verify) before responding.
+type Request struct {
+	Trace     string `json:"trace"`
+	Algorithm string `json:"algorithm"`
+	Capacity  int    `json:"capacity"`
+	Verify    bool   `json:"verify,omitempty"`
+}
+
+// CostJSON is a cost breakdown in a response.
+type CostJSON struct {
+	Residence int64 `json:"residence"`
+	Move      int64 `json:"move"`
+	Total     int64 `json:"total"`
+}
+
+// Response carries the schedule, its cost, and per-request telemetry.
+type Response struct {
+	Algorithm   string    `json:"algorithm"`
+	Grid        string    `json:"grid"`
+	NumData     int       `json:"num_data"`
+	NumWindows  int       `json:"num_windows"`
+	Capacity    int       `json:"capacity"`
+	Centers     [][]int   `json:"centers"`
+	Cost        CostJSON  `json:"cost"`
+	Verified    *CostJSON `json:"verified,omitempty"`
+	Fingerprint string    `json:"fingerprint"`
+	CacheHit    bool      `json:"cache_hit"`
+	ElapsedUS   int64     `json:"elapsed_us"`
+}
+
+// Stats is a snapshot of the service's counters, served at /stats.
+type Stats struct {
+	Requests         uint64 `json:"requests"`
+	Completed        uint64 `json:"completed"`
+	RejectedOverload uint64 `json:"rejected_overload"`
+	RejectedClosed   uint64 `json:"rejected_closed"`
+	BadRequests      uint64 `json:"bad_requests"`
+	DeadlineExpired  uint64 `json:"deadline_expired"`
+	Errors           uint64 `json:"errors"`
+	Inflight         int64  `json:"inflight"`
+	TablesBuilt      uint64 `json:"tables_built"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	CacheSharedBuild uint64 `json:"cache_shared_builds"`
+	CacheEvictions   uint64 `json:"cache_evictions"`
+	CacheEntries     int    `json:"cache_entries"`
+}
+
+// Service is a concurrent scheduling service. Create one with New; it
+// is safe for use by any number of goroutines.
+type Service struct {
+	cfg   Config
+	cache *tableCache
+	slots chan struct{} // nil when MaxInflight <= 0
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup // all request work, incl. abandoned background runs
+
+	requests         atomic.Uint64
+	completed        atomic.Uint64
+	rejectedOverload atomic.Uint64
+	rejectedClosed   atomic.Uint64
+	badRequests      atomic.Uint64
+	deadlineExpired  atomic.Uint64
+	internalErrors   atomic.Uint64
+	inflight         atomic.Int64
+	tablesBuilt      atomic.Uint64
+
+	// testHookRunning, when set, is called by the worker after it has
+	// claimed its concurrency slot and before any heavy work; tests use
+	// it to hold a request in-flight deterministically.
+	testHookRunning func()
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg, cache: newTableCache(cfg.cacheSize())}
+	if cfg.MaxInflight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// Closed reports whether Close has begun; /healthz uses it.
+func (s *Service) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close refuses new requests and waits for every in-flight computation
+// — including runs abandoned by expired deadlines — to finish. It is
+// idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a consistent-enough snapshot of the counters (each
+// counter is individually atomic; the set is not taken under one lock).
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Requests:         s.requests.Load(),
+		Completed:        s.completed.Load(),
+		RejectedOverload: s.rejectedOverload.Load(),
+		RejectedClosed:   s.rejectedClosed.Load(),
+		BadRequests:      s.badRequests.Load(),
+		DeadlineExpired:  s.deadlineExpired.Load(),
+		Errors:           s.internalErrors.Load(),
+		Inflight:         s.inflight.Load(),
+		TablesBuilt:      s.tablesBuilt.Load(),
+	}
+	st.CacheHits, st.CacheMisses, st.CacheSharedBuild, st.CacheEvictions, st.CacheEntries = s.cache.counters()
+	return st
+}
+
+// Schedule runs one request. It validates and decodes the trace, takes
+// a concurrency slot (or sheds), resolves the fingerprint against the
+// model cache (building at most once per fingerprint), runs the
+// scheduler, and optionally referees the result. The context bounds the
+// caller's wait, not the computation: an expired context returns
+// immediately while the work completes in the background.
+func (s *Service) Schedule(ctx context.Context, req Request) (*Response, error) {
+	s.requests.Add(1)
+	start := time.Now()
+
+	resp, err := s.schedule(ctx, req)
+	switch {
+	case err == nil:
+		resp.ElapsedUS = time.Since(start).Microseconds()
+		s.completed.Add(1)
+	case errors.Is(err, ErrOverloaded):
+		s.rejectedOverload.Add(1)
+	case errors.Is(err, ErrClosed):
+		s.rejectedClosed.Add(1)
+	case isRequestError(err):
+		s.badRequests.Add(1)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.deadlineExpired.Add(1)
+	default:
+		s.internalErrors.Add(1)
+	}
+	return resp, err
+}
+
+func isRequestError(err error) bool {
+	var re *RequestError
+	return errors.As(err, &re)
+}
+
+func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) {
+	scheduler, err := sched.ByName(req.Algorithm)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	if req.Capacity < 0 {
+		return nil, badRequest("negative capacity %d", req.Capacity)
+	}
+	if int64(len(req.Trace)) > s.cfg.maxBodyBytes() {
+		return nil, badRequest("trace text %d bytes exceeds limit %d", len(req.Trace), s.cfg.maxBodyBytes())
+	}
+	tr, err := trace.Decode(strings.NewReader(req.Trace))
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+
+	// Refuse after Close; wg.Add under the same lock so Close's Wait
+	// cannot slip between the check and the registration.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	// Claim a concurrency slot without queuing: full means shed now.
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			s.wg.Done()
+			return nil, ErrOverloaded
+		}
+	}
+	s.inflight.Add(1)
+	finished := func() {
+		if s.slots != nil {
+			<-s.slots
+		}
+		s.inflight.Add(-1)
+		s.wg.Done()
+	}
+
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	fp := tr.Fingerprint()
+	work := func() (*Response, error) {
+		if s.testHookRunning != nil {
+			s.testHookRunning()
+		}
+		entry, builder := s.cache.acquire(fp)
+		if builder {
+			m := cost.NewModel(tr)
+			s.cache.publish(entry, m, m.BuildResidenceTable())
+			s.tablesBuilt.Add(1)
+		} else {
+			// Another request is building this entry; its worker always
+			// completes (pure CPU work), so waiting here cannot hang.
+			// Our own caller is still free to time out via awaitDone.
+			<-entry.ready
+		}
+		p := &sched.Problem{Model: entry.model, Table: entry.table, Capacity: req.Capacity}
+		schedule, err := scheduler.Schedule(p)
+		if err != nil {
+			return nil, &RequestError{Err: err} // infeasible capacity etc.
+		}
+		bd := p.Model.Evaluate(schedule)
+		resp := &Response{
+			Algorithm:   scheduler.Name(),
+			Grid:        tr.Grid.String(),
+			NumData:     tr.NumData,
+			NumWindows:  tr.NumWindows(),
+			Capacity:    req.Capacity,
+			Centers:     schedule.Centers,
+			Cost:        CostJSON{Residence: bd.Residence, Move: bd.Move, Total: bd.Total()},
+			Fingerprint: fp.String(),
+			CacheHit:    !builder,
+		}
+		if req.Verify {
+			if err := verify.Check(tr, schedule, req.Capacity); err != nil {
+				return nil, fmt.Errorf("service: referee rejected schedule: %v", err)
+			}
+			claim := verify.Breakdown{Residence: bd.Residence, Move: bd.Move}
+			if err := verify.CrossCheck(tr, schedule, p.Model.DataSize, claim); err != nil {
+				return nil, fmt.Errorf("service: %v", err)
+			}
+			resp.Verified = &CostJSON{Residence: claim.Residence, Move: claim.Move, Total: claim.Total()}
+		}
+		return resp, nil
+	}
+	return awaitDone(ctx, work, finished)
+}
+
+// awaitDone runs fn in a goroutine and waits for it or for the context,
+// whichever finishes first; done fires exactly once, when fn actually
+// returns (or immediately if the context was dead before fn started).
+// It mirrors sched.RunContextDone for the service's own composite work.
+func awaitDone[T any](ctx context.Context, fn func() (T, error), done func()) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		done()
+		return zero, err
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := fn()
+		ch <- result{v, err}
+		done()
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}

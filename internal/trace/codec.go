@@ -46,6 +46,9 @@ func Decode(r io.Reader) (*Trace, error) {
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 
 	line, lineNo, err := nextLine(sc, 0)
+	if err == io.EOF {
+		return nil, fmt.Errorf("trace: empty input, want %q header", formatHeader)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +101,9 @@ func Decode(r io.Reader) (*Trace, error) {
 			if !haveGrid || !haveData {
 				return nil, fmt.Errorf("trace: line %d: window before grid/data directives", lineNo)
 			}
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("trace: line %d: window takes no arguments, got %q", lineNo, line)
+			}
 			if t == nil {
 				t = New(g, numData)
 			}
@@ -114,6 +120,17 @@ func Decode(r io.Reader) (*Trace, error) {
 			v, err3 := strconv.Atoi(fields[3])
 			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("trace: line %d: malformed ref %q", lineNo, line)
+			}
+			// Validate eagerly — the grid and data directives are known to
+			// precede any window — so a bad event is reported with the line
+			// it came from, not by the whole-trace sweep after parsing.
+			switch {
+			case p < 0 || p >= g.NumProcs():
+				return nil, fmt.Errorf("trace: line %d: ref processor %d outside %v array", lineNo, p, g)
+			case d < 0 || d >= numData:
+				return nil, fmt.Errorf("trace: line %d: ref data %d outside [0,%d)", lineNo, d, numData)
+			case v <= 0:
+				return nil, fmt.Errorf("trace: line %d: ref volume %d is not positive", lineNo, v)
 			}
 			cur.Refs = append(cur.Refs, Ref{Proc: p, Data: DataID(d), Volume: v})
 		default:

@@ -85,31 +85,84 @@ ref 0 1 1
 	}
 }
 
+// TestDecodeErrors walks every malformed-input branch of the decoder
+// and, for errors attributable to a specific input line, requires the
+// line number to appear in the error text — the property that makes a
+// megabyte trace file debuggable. Comment and blank lines before the
+// offending line are counted (line numbers refer to the raw input).
 func TestDecodeErrors(t *testing.T) {
 	cases := []struct {
 		name, in string
+		want     string // substring the error must contain
 	}{
-		{"empty", ""},
-		{"bad header", "something else\n"},
-		{"missing grid", "pimtrace v1\ndata 3\nwindow\n"},
-		{"missing data", "pimtrace v1\ngrid 2 2\nwindow\n"},
-		{"duplicate grid", "pimtrace v1\ngrid 2 2\ngrid 2 2\ndata 1\n"},
-		{"duplicate data", "pimtrace v1\ngrid 2 2\ndata 1\ndata 1\n"},
-		{"bad grid argc", "pimtrace v1\ngrid 2\ndata 1\n"},
-		{"bad grid value", "pimtrace v1\ngrid x 2\ndata 1\n"},
-		{"zero grid", "pimtrace v1\ngrid 0 2\ndata 1\n"},
-		{"bad data value", "pimtrace v1\ngrid 2 2\ndata -3\n"},
-		{"ref outside window", "pimtrace v1\ngrid 2 2\ndata 1\nref 0 0 1\n"},
-		{"ref argc", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0\n"},
-		{"ref non-numeric", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref a 0 1\n"},
-		{"unknown directive", "pimtrace v1\ngrid 2 2\ndata 1\nbogus\n"},
-		{"invalid ref proc", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 9 0 1\n"},
-		{"invalid ref data", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 5 1\n"},
-		{"invalid ref volume", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0 0\n"},
+		{"empty", "", `want "pimtrace v1" header`},
+		{"bad header", "something else\n", "line 1: bad header"},
+		{"bad header with junk", "pimtrace v1 extra\n", "line 1: bad header"},
+		{"missing grid", "pimtrace v1\ndata 3\nwindow\n", "line 3: window before grid/data"},
+		{"missing data", "pimtrace v1\ngrid 2 2\nwindow\n", "line 3: window before grid/data"},
+		{"missing grid and data at eof", "pimtrace v1\n", "missing grid/data"},
+		{"duplicate grid", "pimtrace v1\ngrid 2 2\ngrid 2 2\ndata 1\n", "line 3: duplicate grid"},
+		{"duplicate data", "pimtrace v1\ngrid 2 2\ndata 1\ndata 1\n", "line 4: duplicate data"},
+		{"bad grid argc", "pimtrace v1\ngrid 2\ndata 1\n", "line 2: grid:"},
+		{"grid trailing junk", "pimtrace v1\ngrid 2 2 9\ndata 1\n", "line 2: grid:"},
+		{"bad grid value", "pimtrace v1\ngrid x 2\ndata 1\n", "line 2: grid:"},
+		{"zero grid", "pimtrace v1\ngrid 0 2\ndata 1\n", "line 2: invalid grid 0x2"},
+		{"negative grid", "pimtrace v1\ngrid 2 -2\ndata 1\n", "line 2: invalid grid"},
+		{"bad data argc", "pimtrace v1\ngrid 2 2\ndata 1 2\n", "line 3: data takes one argument"},
+		{"bad data value", "pimtrace v1\ngrid 2 2\ndata -3\n", `line 3: bad data count "-3"`},
+		{"non-numeric data", "pimtrace v1\ngrid 2 2\ndata many\n", `line 3: bad data count "many"`},
+		{"window trailing junk", "pimtrace v1\ngrid 2 2\ndata 1\nwindow 7\n", "line 4: window takes no arguments"},
+		{"ref outside window", "pimtrace v1\ngrid 2 2\ndata 1\nref 0 0 1\n", "line 4: ref outside a window"},
+		{"truncated ref", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0\n", "line 5: ref takes three arguments"},
+		{"ref trailing junk", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0 1 junk\n", "line 5: ref takes three arguments"},
+		{"ref non-numeric", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref a 0 1\n", "line 5: malformed ref"},
+		{"unknown directive", "pimtrace v1\ngrid 2 2\ndata 1\nbogus\n", `line 4: unknown directive "bogus"`},
+		{"ref proc out of range", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 9 0 1\n", "line 5: ref processor 9 outside 2x2"},
+		{"ref proc negative", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref -1 0 1\n", "line 5: ref processor -1"},
+		{"ref data out of range", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 5 1\n", "line 5: ref data 5 outside [0,1)"},
+		{"ref data negative", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 -4 1\n", "line 5: ref data -4"},
+		{"ref volume zero", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0 0\n", "line 5: ref volume 0"},
+		{"ref volume negative", "pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0 -2\n", "line 5: ref volume -2"},
+		{"line counting skips nothing", "pimtrace v1\n# comment\n\ngrid 2 2\ndata 1\nwindow\nref 9 0 1\n", "line 7: ref processor 9"},
 	}
 	for _, c := range cases {
-		if _, err := Decode(strings.NewReader(c.in)); err == nil {
-			t.Errorf("%s: Decode succeeded, want error", c.name)
+		_, err := Decode(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: Decode succeeded, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestDecodeRejectsWindowTrailingJunk is the regression test for the
+// hardening fix: "window" with trailing fields used to be accepted
+// silently, hiding typos like "window 3" that intended a count.
+func TestDecodeRejectsWindowTrailingJunk(t *testing.T) {
+	in := "pimtrace v1\ngrid 2 2\ndata 1\nwindow extra\nref 0 0 1\n"
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Fatal("Decode accepted a window directive with trailing fields")
+	}
+}
+
+// TestDecodeRefErrorsCiteLine is the regression test for eager event
+// validation: out-of-range processor/data ids and non-positive volumes
+// used to be caught only by the whole-trace Validate sweep after
+// parsing, which cannot name the offending input line.
+func TestDecodeRefErrorsCiteLine(t *testing.T) {
+	for _, in := range []string{
+		"pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 4 0 1\n",
+		"pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 1 1\n",
+		"pimtrace v1\ngrid 2 2\ndata 1\nwindow\nref 0 0 -1\n",
+	} {
+		_, err := Decode(strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("Decode accepted invalid input %q", in)
+		}
+		if !strings.Contains(err.Error(), "line 5") {
+			t.Errorf("error %q does not cite line 5", err)
 		}
 	}
 }

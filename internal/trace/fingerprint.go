@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// fingerprintVersion is folded into every fingerprint so that a change
+// to the canonical encoding below invalidates all previously computed
+// fingerprints instead of silently colliding with them.
+const fingerprintVersion = "pimtrace-fp-v1"
+
+// Fingerprint is a stable content hash of a trace: two traces have the
+// same fingerprint exactly when they have the same grid dimensions,
+// data-space size, window structure and reference-event sequence
+// (modulo SHA-256 collisions). It is the cache key long-running
+// services use to share cost models and residence tables across
+// requests that carry the same trace.
+//
+// The fingerprint is computed from the events themselves, not from any
+// derived matrix, so two traces that differ only in the order of events
+// inside a window hash differently. That is deliberately conservative:
+// a cache keyed by Fingerprint can return stale entries never, only
+// miss more often than strictly necessary.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex, the form used in
+// service telemetry and logs.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Fingerprint computes the canonical content hash of the trace.
+//
+// The canonical encoding hashed is:
+//
+//	version string
+//	width, height, numData, numWindows   (fixed 8-byte little endian)
+//	for every window: numRefs, then (proc, data, volume) per event
+//
+// Every field has a fixed width and the per-window ref count is
+// included, so the encoding is injective: distinct traces produce
+// distinct byte streams (and hence, with overwhelming probability,
+// distinct fingerprints), including traces that differ only in where a
+// window boundary falls.
+func (t *Trace) Fingerprint() Fingerprint {
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+
+	// Batch fixed-width fields through a scratch buffer so large traces
+	// do not pay one hasher call per field.
+	buf := make([]byte, 0, 4096)
+	flush := func() {
+		h.Write(buf)
+		buf = buf[:0]
+	}
+	put := func(v int64) {
+		if len(buf)+8 > cap(buf) {
+			flush()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+
+	put(int64(t.Grid.Width()))
+	put(int64(t.Grid.Height()))
+	put(int64(t.NumData))
+	put(int64(len(t.Windows)))
+	for wi := range t.Windows {
+		refs := t.Windows[wi].Refs
+		put(int64(len(refs)))
+		for _, r := range refs {
+			put(int64(r.Proc))
+			put(int64(r.Data))
+			put(int64(r.Volume))
+		}
+	}
+	flush()
+
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

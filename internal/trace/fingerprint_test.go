@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestFingerprintStableAcrossClone(t *testing.T) {
+	tr := sampleTrace()
+	if got, want := tr.Clone().Fingerprint(), tr.Fingerprint(); got != want {
+		t.Fatalf("clone fingerprint %v != original %v", got, want)
+	}
+	// Recomputing on the same value is deterministic.
+	if tr.Fingerprint() != tr.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintStableAcrossCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint() != tr.Fingerprint() {
+			t.Fatalf("iter %d: fingerprint changed across encode/decode", i)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := func() *Trace {
+		tr := New(grid.New(2, 2), 3)
+		w := tr.AddWindow()
+		w.Add(0, 1)
+		w.Add(3, 2)
+		tr.AddWindow().Add(1, 0)
+		return tr
+	}
+	mutations := map[string]func(*Trace){
+		"grid shape": func(tr *Trace) { tr.Grid = grid.New(4, 1) },
+		"data count": func(tr *Trace) { tr.NumData = 4 },
+		"ref proc":   func(tr *Trace) { tr.Windows[0].Refs[0].Proc = 2 },
+		"ref data":   func(tr *Trace) { tr.Windows[0].Refs[1].Data = 0 },
+		"ref volume": func(tr *Trace) { tr.Windows[0].Refs[0].Volume = 5 },
+		"extra ref":  func(tr *Trace) { tr.Windows[1].Add(2, 2) },
+		"extra window": func(tr *Trace) {
+			tr.AddWindow()
+		},
+		"event order in window": func(tr *Trace) {
+			refs := tr.Windows[0].Refs
+			refs[0], refs[1] = refs[1], refs[0]
+		},
+	}
+	want := base().Fingerprint()
+	for name, mutate := range mutations {
+		tr := base()
+		mutate(tr)
+		if tr.Fingerprint() == want {
+			t.Errorf("%s: mutated trace has the same fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintWindowBoundary pins the injectivity of the canonical
+// encoding: the same event sequence split at a different window
+// boundary must hash differently, since window structure changes the
+// scheduling problem.
+func TestFingerprintWindowBoundary(t *testing.T) {
+	oneWindow := New(grid.New(2, 2), 2)
+	w := oneWindow.AddWindow()
+	w.Add(0, 0)
+	w.Add(1, 1)
+
+	twoWindows := New(grid.New(2, 2), 2)
+	twoWindows.AddWindow().Add(0, 0)
+	twoWindows.AddWindow().Add(1, 1)
+
+	if oneWindow.Fingerprint() == twoWindows.Fingerprint() {
+		t.Fatal("window boundary does not affect the fingerprint")
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	s := sampleTrace().Fingerprint().String()
+	if len(s) != 64 || strings.Trim(s, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint string %q is not 64 hex chars", s)
+	}
+}
+
+// FuzzFingerprint checks that fingerprinting never panics on anything
+// the decoder accepts, that equal traces produce equal fingerprints
+// (via an encode/decode round trip), and that a structural mutation
+// changes the fingerprint.
+func FuzzFingerprint(f *testing.F) {
+	seeds := []string{
+		"pimtrace v1\ngrid 2 2\ndata 3\nwindow\nref 0 1 1\n",
+		"pimtrace v1\ngrid 4 4\ndata 0\n",
+		"pimtrace v1\ngrid 1 1\ndata 1\nwindow\nwindow\nref 0 0 9\n",
+		"pimtrace v1\ngrid 2 3\ndata 5\nwindow\nref 5 4 2\nref 0 0 1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		fp := tr.Fingerprint()
+
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("Encode of decoded trace failed: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v", err)
+		}
+		if again.Fingerprint() != fp {
+			t.Fatal("equal traces produced different fingerprints")
+		}
+
+		// Mutate: append a reference event (always structural — even on
+		// an empty trace it adds a window).
+		mutated := tr.Clone()
+		if mutated.NumData == 0 {
+			mutated.NumData = 1
+		}
+		if len(mutated.Windows) == 0 {
+			mutated.AddWindow()
+		}
+		mutated.Windows[len(mutated.Windows)-1].Add(0, 0)
+		if mutated.Fingerprint() == fp {
+			t.Fatal("mutated trace kept the original fingerprint")
+		}
+	})
+}

@@ -1,23 +1,45 @@
 #!/usr/bin/env bash
-# Residence-kernel benchmark snapshot: runs BenchmarkResidenceKernel
-# (separable prefix-sum kernel vs naive per-cell kernel on a 16x16
-# array with dense windows), prints the raw benchstat-compatible
-# output, and records ns/op for both kernels plus the speedup in
+# Residence-kernel benchmark snapshot and drift guard.
+#
+# Snapshot mode (default): runs BenchmarkResidenceKernel (separable
+# prefix-sum kernel vs naive per-cell kernel on a 16x16 array with
+# dense windows), prints the raw benchstat-compatible output, and
+# records ns/op for both kernels plus the speedup in
 # BENCH_RESIDENCE.json. Compare two runs with:
 #
 #	scripts/bench.sh > old.txt   # on the baseline commit
 #	scripts/bench.sh > new.txt
 #	benchstat old.txt new.txt
 #
-# Usage: scripts/bench.sh [count]   (default -count 5)
+# Check mode: `scripts/bench.sh --check [count]` runs a fresh benchmark
+# and FAILS (exit 1) if the separable kernel's ns/op regressed more
+# than BENCH_DRIFT_FACTOR x against the committed BENCH_RESIDENCE.json
+# snapshot; it never rewrites the snapshot. BENCH_DRIFT_FACTOR defaults
+# to 2.0 — generous because CI machines differ from the machine that
+# recorded the snapshot; it is a tripwire for algorithmic regressions
+# (e.g. the naive kernel sneaking back in as default), not a precise
+# perf gate. Override per run: BENCH_DRIFT_FACTOR=1.5 scripts/bench.sh --check
+#
+# Usage: scripts/bench.sh [--check] [count]   (default -count 5; --check defaults to 3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-COUNT="${1:-5}"
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+	CHECK=1
+	shift
+fi
+
+if [ "$CHECK" = 1 ]; then
+	COUNT="${1:-3}"
+else
+	COUNT="${1:-5}"
+fi
+
 RAW="$(go test -run '^$' -bench '^BenchmarkResidenceKernel$' -benchmem -count "$COUNT" .)"
 echo "$RAW"
 
-echo "$RAW" | awk -v count="$COUNT" '
+SUMMARY="$(echo "$RAW" | awk -v count="$COUNT" '
 /^BenchmarkResidenceKernel\/separable/ { sep += $3; nsep++ }
 /^BenchmarkResidenceKernel\/naive/     { nai += $3; nnai++ }
 /^goos:/   { goos = $2 }
@@ -38,8 +60,32 @@ END {
 	printf "  \"naive_ns_per_op\": %.0f,\n", nai
 	printf "  \"speedup\": %.2f\n", nai / sep
 	printf "}\n"
-}' > BENCH_RESIDENCE.json
+}')"
 
-echo
-echo "bench.sh: wrote BENCH_RESIDENCE.json"
-cat BENCH_RESIDENCE.json
+if [ "$CHECK" = 1 ]; then
+	if [ ! -f BENCH_RESIDENCE.json ]; then
+		echo "bench.sh --check: no BENCH_RESIDENCE.json snapshot to compare against" >&2
+		exit 1
+	fi
+	FACTOR="${BENCH_DRIFT_FACTOR:-2.0}"
+	FRESH="$(echo "$SUMMARY" | awk -F'[ ,]+' '/"separable_ns_per_op"/ { print $3 }')"
+	BASE="$(awk -F'[ ,]+' '/"separable_ns_per_op"/ { print $3 }' BENCH_RESIDENCE.json)"
+	if [ -z "$FRESH" ] || [ -z "$BASE" ]; then
+		echo "bench.sh --check: could not parse separable_ns_per_op (fresh='$FRESH' base='$BASE')" >&2
+		exit 1
+	fi
+	echo
+	echo "bench.sh --check: fresh separable ${FRESH} ns/op vs snapshot ${BASE} ns/op (allowed ${FACTOR}x)"
+	awk -v fresh="$FRESH" -v base="$BASE" -v factor="$FACTOR" 'BEGIN {
+		if (fresh > base * factor) {
+			printf "bench.sh --check: REGRESSION: %.0f ns/op > %.2f x %.0f ns/op\n", fresh, factor, base > "/dev/stderr"
+			exit 1
+		}
+		printf "bench.sh --check: ok (%.2fx of snapshot)\n", fresh / base
+	}'
+else
+	echo "$SUMMARY" > BENCH_RESIDENCE.json
+	echo
+	echo "bench.sh: wrote BENCH_RESIDENCE.json"
+	cat BENCH_RESIDENCE.json
+fi

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-2 verification gate: static analysis plus the full test suite
-# with the race detector (the capture recorder, parallel table builder
-# and worker pools are all concurrency-bearing). Tier-1 remains
-# `go build ./... && go test ./...`; run this script before merging
-# anything that touches scheduling, cost evaluation or concurrency.
+# with the race detector (the capture recorder, parallel table builder,
+# worker pools and the scheduling service are all concurrency-bearing).
+# Tier-1 remains `go build ./... && go test ./...`; run this script
+# before merging anything that touches scheduling, cost evaluation or
+# concurrency.
 #
 # Usage: scripts/check.sh [extra go test args, e.g. -short]
 set -euo pipefail
@@ -12,8 +13,21 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== build (incl. service + pimserve) =="
+go build ./...
+go build ./internal/service ./cmd/pimserve
+
 echo "== go test -race =="
 go test -race "$@" ./...
+
+# The scheduling service's load referee: >= 100 concurrent HTTP clients
+# against /schedule under the race detector, asserting responses match
+# single-threaded sched runs bit-for-bit and that the fingerprint cache
+# skipped table rebuilds. It already ran above as part of ./...; this
+# dedicated -short invocation keeps a fast, named gate for the service
+# even when the full suite is invoked with a narrower pattern.
+echo "== service load test (-race -short) =="
+go test -race -short -run '^TestLoadConcurrentClients$' ./internal/service
 
 # Fuzz smoke: run each fuzz target's engine briefly under the race
 # detector on top of the committed seed corpus. `go test -fuzz` accepts
@@ -25,6 +39,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -race -run '^$' -fuzz '^FuzzResidenceKernels$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzVerifyCost$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzCheckSchedule$' -fuzztime "$FUZZTIME" ./internal/verify
+	go test -race -run '^$' -fuzz '^FuzzFingerprint$' -fuzztime "$FUZZTIME" ./internal/trace
 fi
 
 echo "check.sh: all gates passed"
