@@ -23,6 +23,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -43,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	capFactor := fs.Int("capacity", 2, "memory capacity as a multiple of the minimum")
 	n := fs.Int("n", 16, "data size for the sweep and sim artifacts")
 	doVerify := fs.Bool("verify", false, "run every schedule through the independent referee (invariants + from-scratch cost recomputation)")
+	doStages := fs.Bool("stages", false, "print a per-stage time breakdown (table builds, scheduler runs) after the artifacts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +58,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := experiments.Config{Grid: g, Sizes: sizes, CapacityFactor: *capFactor, Verify: *doVerify}
+	var breakdown *obs.StageBreakdown
+	if *doStages {
+		breakdown = obs.NewStageBreakdown()
+		cfg.Stages = breakdown.Record
+	}
 
 	want := func(name string) bool { return *table == name || *table == "all" }
 	ran := false
@@ -221,7 +228,7 @@ func run(args []string, out io.Writer) error {
 	if want("kernel") {
 		ran = true
 		noReferee("kernel")
-		if err := kernelStudy(out, g, *n); err != nil {
+		if err := kernelStudy(out, g, *n, cfg.Stages); err != nil {
 			return err
 		}
 	}
@@ -237,6 +244,13 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, "verify: all schedules passed invariant + independent cost checks")
 		}
 	}
+	if breakdown != nil {
+		fmt.Fprintln(out, "stage breakdown:")
+		if _, err := breakdown.WriteTo(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
 	return nil
 }
 
@@ -245,7 +259,7 @@ func run(args []string, out io.Writer) error {
 // items on the chosen array, 8 windows of 64 references per processor)
 // and cross-checks that the two tables agree cell for cell, so the
 // printed speedup is attested to be a speedup of the *same* function.
-func kernelStudy(out io.Writer, g grid.Grid, n int) error {
+func kernelStudy(out io.Writer, g grid.Grid, n int, stages func(string, time.Duration)) error {
 	rng := rand.New(rand.NewSource(1998))
 	nd, np := n*n, g.NumProcs()
 	tr := trace.New(g, trimData(nd))
@@ -259,6 +273,7 @@ func kernelStudy(out io.Writer, g grid.Grid, n int) error {
 		}
 	}
 	m := cost.NewModel(tr)
+	m.Stages = stages
 
 	start := time.Now()
 	fast := m.BuildResidenceTable()

@@ -120,3 +120,43 @@ func TestVerifyFlagUnrefereedArtifact(t *testing.T) {
 		t.Errorf("attestation printed for unrefereed artifact:\n%s", s)
 	}
 }
+
+// TestStagesFlag: -stages appends a per-stage time breakdown covering
+// the cost-model table builds and the scheduler runs; without the flag
+// no breakdown is printed.
+func TestStagesFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "1", "-sizes", "8", "-stages"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"stage breakdown:", "cost.residence_table", "sched.scds", "sched.lomcds", "sched.gomcds"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-stages output missing %q:\n%s", want, s)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-table", "1", "-sizes", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "stage breakdown:") {
+		t.Error("breakdown printed without -stages")
+	}
+}
+
+// TestStagesFlagKernelArtifact: the kernel study's two builds record
+// through the same sink, so the breakdown distinguishes the separable
+// and naive kernels.
+func TestStagesFlagKernelArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "kernel", "-n", "4", "-stages"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"cost.residence_table", "cost.residence_table_naive"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("kernel -stages output missing %q:\n%s", want, s)
+		}
+	}
+}

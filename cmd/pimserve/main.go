@@ -14,6 +14,12 @@
 // runnable walkthrough. The server sheds load with 429 + Retry-After
 // once -inflight computations are running, times requests out after
 // -timeout, and drains in-flight work on SIGINT/SIGTERM before exiting.
+//
+// Observability: GET /metrics serves Prometheus text exposition
+// (request counters, cache counters, per-stage latency histograms);
+// -access-log logs one slog line per request; -debug-addr starts a
+// second listener serving net/http/pprof and expvar — bind it to
+// loopback, the profiles expose process internals.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -49,6 +57,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 = none")
 	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "request body limit in bytes")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	debugAddr := fs.String("debug-addr", "", "optional pprof/expvar listener (e.g. 127.0.0.1:6060); the handlers expose heap contents and build info, so bind loopback or firewall it")
+	accessLog := fs.Bool("access-log", false, "log every request (method, path, status, bytes, duration) via slog")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,30 +67,59 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	opts := serveOptions{accessLog: *accessLog}
+	if *debugAddr != "" {
+		opts.debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	return serve(ctx, ln, service.Config{
 		MaxInflight:  *inflight,
 		CacheSize:    *cacheSize,
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
-	}, *drain, out)
+	}, *drain, out, opts)
+}
+
+// serveOptions carries the optional observability surfaces: an access
+// log on the main listener and a separate pprof/expvar debug listener.
+type serveOptions struct {
+	accessLog bool
+	debugLn   net.Listener // nil = no debug listener
 }
 
 // serve runs the service on the listener until ctx is cancelled, then
 // shuts the HTTP server down gracefully and drains the service's
 // in-flight computations. Split from run so tests can drive it on an
 // ephemeral port.
-func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.Duration, out io.Writer) error {
+func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.Duration, out io.Writer, opts serveOptions) error {
 	svc := service.New(cfg)
-	server := &http.Server{Handler: svc.Handler()}
+	handler := http.Handler(svc.Handler())
+	if opts.accessLog {
+		handler = obs.AccessLog(slog.New(slog.NewTextHandler(out, nil)), handler)
+	}
+	server := &http.Server{Handler: handler}
 
 	fmt.Fprintf(out, "pimserve: listening on %s (inflight %d, cache %d, timeout %v)\n",
 		ln.Addr(), cfg.MaxInflight, cfg.CacheSize, cfg.Timeout)
+
+	var debugServer *http.Server
+	if opts.debugLn != nil {
+		debugServer = &http.Server{Handler: obs.DebugHandler()}
+		fmt.Fprintf(out, "pimserve: debug listening on %s (pprof, expvar)\n", opts.debugLn.Addr())
+		go func() { debugServer.Serve(opts.debugLn) }()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
 
 	select {
 	case err := <-errc:
+		if debugServer != nil {
+			debugServer.Close()
+		}
 		return err // listener failed before shutdown was requested
 	case <-ctx.Done():
 	}
@@ -89,6 +128,11 @@ func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := server.Shutdown(shutdownCtx)
+	if debugServer != nil {
+		if dbgErr := debugServer.Shutdown(shutdownCtx); err == nil {
+			err = dbgErr
+		}
+	}
 	if closeErr := svc.Close(); err == nil {
 		err = closeErr
 	}

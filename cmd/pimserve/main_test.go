@@ -47,7 +47,7 @@ func TestServeEndToEndAndGracefulShutdown(t *testing.T) {
 	out := &syncBuffer{}
 	errc := make(chan error, 1)
 	go func() {
-		errc <- serve(ctx, ln, service.Config{MaxInflight: 4, Timeout: 10 * time.Second}, 5*time.Second, out)
+		errc <- serve(ctx, ln, service.Config{MaxInflight: 4, Timeout: 10 * time.Second}, 5*time.Second, out, serveOptions{})
 	}()
 
 	base := "http://" + ln.Addr().String()
@@ -165,6 +165,73 @@ func TestRunServesOnEphemeralPort(t *testing.T) {
 		}
 	}
 	waitHealthy(t, base)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}
+
+// TestDebugListenerAndAccessLog: -debug-addr brings up a second
+// listener serving pprof and expvar, and -access-log emits one slog
+// line per request on the main listener.
+func TestDebugListenerAndAccessLog(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-access-log",
+			"-inflight", "2", "-timeout", "5s",
+		}, out)
+	}()
+
+	addrFromLog := func(marker string) string {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if log := out.String(); strings.Contains(log, marker) {
+				rest := log[strings.Index(log, marker)+len(marker):]
+				return "http://" + strings.Fields(rest)[0]
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no %q in log: %q", marker, out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := addrFromLog("listening on ")
+	debug := addrFromLog("debug listening on ")
+	waitHealthy(t, base)
+
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(debug + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(data) == 0 {
+			t.Fatalf("GET %s: status %d, %d bytes", path, resp.StatusCode, len(data))
+		}
+	}
+
+	// The /healthz probes above must have produced access-log lines.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "path=/healthz") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no access-log line for /healthz in log: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "status=200") {
+		t.Fatalf("access-log line lacks status: %q", out.String())
+	}
+
 	cancel()
 	select {
 	case err := <-errc:

@@ -41,6 +41,11 @@ curl -s -X POST "$BASE/schedule" --data-binary @"$REQ" |
 echo "== /stats: one table built, one cache hit =="
 curl -s "$BASE/stats"
 
+echo "== /metrics: request counters and per-stage latency histograms =="
+curl -s "$BASE/metrics" | grep -E '^pim_(requests_total|cache_(hits|misses)_total|tables_built_total) '
+curl -s "$BASE/metrics" | grep -c '^pim_stage_duration_seconds_bucket' |
+	xargs -I{} echo "({} stage histogram buckets; full scrape: curl $BASE/metrics)"
+
 echo "== graceful shutdown =="
 kill -TERM $SERVER
 wait $SERVER || true

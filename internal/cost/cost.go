@@ -17,6 +17,7 @@ package cost
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/parallel"
@@ -114,6 +115,15 @@ type Model struct {
 	// both and demands cell-for-cell agreement).
 	Kernel Kernel
 
+	// Stages, when non-nil, receives one (stage, duration) observation
+	// per table build ("cost.residence_table", "cost.aggregate_table",
+	// ...). It is the package-local form of obs.Stages — declared as a
+	// plain func so the core cost model stays free of observability
+	// imports — and must be safe for concurrent use when the model is
+	// shared (the scheduling service caches models across requests).
+	// Nil is a no-op.
+	Stages func(stage string, d time.Duration)
+
 	dist   [][]int
 	counts trace.Counts
 
@@ -185,6 +195,7 @@ type ResidenceTable [][][]int64
 // spent here, so the table is built once and shared across SCDS,
 // LOMCDS and GOMCDS runs on the same trace.
 func (m *Model) BuildResidenceTable() ResidenceTable {
+	defer m.stage("cost.residence_table")()
 	if m.Kernel == KernelNaive {
 		return m.buildNaive()
 	}
@@ -195,7 +206,19 @@ func (m *Model) BuildResidenceTable() ResidenceTable {
 // summation kernel regardless of m.Kernel, for differential testing
 // against the separable kernel.
 func (m *Model) BuildResidenceTableNaive() ResidenceTable {
+	defer m.stage("cost.residence_table_naive")()
 	return m.buildNaive()
+}
+
+// stage opens a span for one named build phase: the returned func
+// records the elapsed time with m.Stages. Nil-safe and free when no
+// sink is installed.
+func (m *Model) stage(name string) func() {
+	if m.Stages == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { m.Stages(name, time.Since(start)) }
 }
 
 // ResidenceCost returns the total residence cost of the schedule: the

@@ -162,6 +162,7 @@ func newResidenceTable(nw, nd, np int) ResidenceTable {
 // selected kernel, without materializing (or re-reading) the per-window
 // table.
 func (m *Model) BuildAggregateTable() [][]int64 {
+	defer m.stage("cost.aggregate_table")()
 	nd, np := m.NumData, m.Grid.NumProcs()
 	nx, ny := m.Grid.Width(), m.Grid.Height()
 	flat := make([]int64, nd*np)

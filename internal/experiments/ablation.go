@@ -38,7 +38,7 @@ func GroupingAblation(cfg Config) ([]AblationRow, error) {
 	for _, b := range workload.PaperBenchmarks() {
 		for _, n := range cfg.Sizes {
 			tr := b.Gen.Generate(n, cfg.Grid)
-			p := sched.NewProblem(tr, cfg.capacity(n))
+			p := cfg.newProblem(tr, cfg.capacity(n))
 
 			plain, err := sched.LOMCDS{}.Schedule(p)
 			if err != nil {
@@ -110,7 +110,7 @@ func WindowSweep(cfg Config, n int, factors []int) ([]WindowSweepRow, error) {
 			if f > 1 {
 				tr = base.Merged(trace.UniformIntervals(base.NumWindows(), f))
 			}
-			p := sched.NewProblem(tr, cfg.capacity(n))
+			p := cfg.newProblem(tr, cfg.capacity(n))
 			lo, err := sched.LOMCDS{}.Schedule(p)
 			if err != nil {
 				return nil, err

@@ -7,6 +7,8 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/grid"
@@ -32,6 +34,31 @@ type Config struct {
 	// referee (internal/verify): invariant checks plus a from-scratch
 	// cost recomputation that must agree exactly with the model.
 	Verify bool
+	// Stages, when non-nil, receives one (stage, duration) observation
+	// per pipeline phase: the model's "cost.*" table builds and a
+	// "sched.<algorithm>" span per scheduler run. It is the same shape
+	// as obs.Stages (declared as a plain func so the experiment driver
+	// stays decoupled); pimbench installs an obs.StageBreakdown here
+	// for its per-stage time report. Must be safe for concurrent use.
+	Stages func(stage string, d time.Duration)
+}
+
+// stage opens a span named for one experiment phase; the returned func
+// records the elapsed time. Nil-safe and free when no sink is set.
+func (c Config) stage(name string) func() {
+	if c.Stages == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { c.Stages(name, time.Since(start)) }
+}
+
+// newProblem is sched.NewProblem with the configured stage sink wired
+// into the cost model, so table builds show up in the breakdown.
+func (c Config) newProblem(tr *trace.Trace, capacity int) *sched.Problem {
+	m := cost.NewModel(tr)
+	m.Stages = c.Stages
+	return sched.NewProblemFromModel(m, capacity)
 }
 
 // DefaultConfig returns the paper's setup: a 4x4 array, matrix sizes
@@ -118,7 +145,7 @@ func buildTable(cfg Config, eval func(*sched.Problem, sched.Scheduler) (cost.Sch
 	for _, b := range workload.PaperBenchmarks() {
 		for _, n := range cfg.Sizes {
 			tr := b.Gen.Generate(n, cfg.Grid)
-			p := sched.NewProblem(tr, cfg.capacity(n))
+			p := cfg.newProblem(tr, cfg.capacity(n))
 			sf, err := sched.Fixed{
 				Label:  "S.F.",
 				Assign: placement.RowWise(trace.SquareMatrix(n), cfg.Grid),
@@ -138,7 +165,9 @@ func buildTable(cfg Config, eval func(*sched.Problem, sched.Scheduler) (cost.Sch
 				SF:          p.Model.TotalCost(sf),
 			}
 			for _, s := range sched.All() {
+				end := cfg.stage("sched." + strings.ToLower(s.Name()))
 				sc, err := eval(p, s)
+				end()
 				if err != nil {
 					return nil, fmt.Errorf("experiments: benchmark %d size %d %s: %v", b.ID, n, s.Name(), err)
 				}

@@ -31,7 +31,7 @@ func OnlineStudy(cfg Config, n int) ([]OnlineRow, error) {
 	var rows []OnlineRow
 	for _, b := range workload.PaperBenchmarks() {
 		tr := b.Gen.Generate(n, cfg.Grid)
-		p := sched.NewProblem(tr, cfg.capacity(n))
+		p := cfg.newProblem(tr, cfg.capacity(n))
 		offline, err := sched.GOMCDS{}.Schedule(p)
 		if err != nil {
 			return nil, err
@@ -91,7 +91,7 @@ func ReplicationStudy(cfg Config, n int, copyBounds []int) ([]ReplicaRow, error)
 	var rows []ReplicaRow
 	for _, b := range workload.PaperBenchmarks() {
 		tr := b.Gen.Generate(n, cfg.Grid)
-		p := sched.NewProblem(tr, cfg.capacity(n))
+		p := cfg.newProblem(tr, cfg.capacity(n))
 		single, err := sched.GOMCDS{}.Schedule(p)
 		if err != nil {
 			return nil, err
@@ -152,7 +152,7 @@ func ExactAssignmentStudy(cfg Config, n int, factors []int) ([]ExactRow, error) 
 				return nil, fmt.Errorf("experiments: non-positive capacity factor %d", f)
 			}
 			capa := f * placement.MinCapacity(tr.NumData, cfg.Grid.NumProcs())
-			p := sched.NewProblem(tr, capa)
+			p := cfg.newProblem(tr, capa)
 			row := ExactRow{BenchmarkID: b.ID, Size: n, CapacityFactor: f}
 			gs, err := sched.SCDS{}.Schedule(p)
 			if err != nil {

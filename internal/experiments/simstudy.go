@@ -37,7 +37,7 @@ func SimStudy(cfg Config, n int, opts sim.Options) ([]SimRow, error) {
 	var rows []SimRow
 	for _, b := range workload.PaperBenchmarks() {
 		tr := b.Gen.Generate(n, cfg.Grid)
-		p := sched.NewProblem(tr, cfg.capacity(n))
+		p := cfg.newProblem(tr, cfg.capacity(n))
 		schedulers := []sched.Scheduler{
 			sched.Fixed{Label: "S.F.", Assign: placement.RowWise(trace.SquareMatrix(n), cfg.Grid)},
 			sched.SCDS{},
@@ -89,7 +89,7 @@ func RenderSimRows(title string, rows []SimRow) *report.Table {
 func VerifySimConsistency(cfg Config, n int) error {
 	for _, b := range workload.PaperBenchmarks() {
 		tr := b.Gen.Generate(n, cfg.Grid)
-		p := sched.NewProblem(tr, cfg.capacity(n))
+		p := cfg.newProblem(tr, cfg.capacity(n))
 		for _, s := range []sched.Scheduler{sched.SCDS{}, sched.LOMCDS{}, sched.GOMCDS{}} {
 			sc, err := s.Schedule(p)
 			if err != nil {
@@ -116,7 +116,7 @@ func Schedules(cfg Config, benchmarkID, n int) (*trace.Trace, map[string]cost.Sc
 			continue
 		}
 		tr := b.Gen.Generate(n, cfg.Grid)
-		p := sched.NewProblem(tr, cfg.capacity(n))
+		p := cfg.newProblem(tr, cfg.capacity(n))
 		out := make(map[string]cost.Schedule)
 		schedulers := []sched.Scheduler{
 			sched.Fixed{Label: "S.F.", Assign: placement.RowWise(trace.SquareMatrix(n), cfg.Grid)},

@@ -33,6 +33,17 @@ type Graph struct {
 	adj   [][]int // adj[v] = indices into edges (even: forward, odd: residual)
 }
 
+// MaxCost is the largest per-unit edge cost AddEdge accepts. It leaves
+// four decimal orders of magnitude between the costliest legal edge and
+// the solver's internal infinity (MaxInt64/4), so path sums and Johnson
+// potentials over any graph of fewer than ~2 million nodes stay exact;
+// beyond that the saturating adds clamp at infinity (conservatively
+// treating the path as unreachable) instead of wrapping around and
+// corrupting potentials. Callers with larger native costs (for example
+// grid.Unreachable-scale sentinels multiplied by reference volumes)
+// must rescale before building the graph.
+const MaxCost int64 = 1 << 40
+
 // NewGraph returns an empty flow network with n nodes.
 func NewGraph(n int) *Graph {
 	if n <= 0 {
@@ -48,13 +59,18 @@ func (g *Graph) NumNodes() int { return g.n }
 // cost, returning its index (usable with Flow after solving). Costs
 // must be non-negative (the solver's Dijkstra relies on it once
 // potentials are established; negative costs would require the initial
-// Bellman-Ford to run on every augmentation).
+// Bellman-Ford to run on every augmentation) and at most MaxCost —
+// larger costs would let dist + cost sums overflow int64 and corrupt
+// the potentials, so they are rejected up front.
 func (g *Graph) AddEdge(from, to int, capacity, cost int64) int {
 	if from < 0 || from >= g.n || to < 0 || to >= g.n {
 		panic(fmt.Sprintf("mcmf: edge (%d,%d) outside %d-node graph", from, to, g.n))
 	}
 	if capacity < 0 || cost < 0 {
 		panic(fmt.Sprintf("mcmf: negative capacity %d or cost %d", capacity, cost))
+	}
+	if cost > MaxCost {
+		panic(fmt.Sprintf("mcmf: cost %d exceeds MaxCost %d (rescale costs to avoid int64 overflow)", cost, MaxCost))
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
@@ -80,6 +96,18 @@ func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
 func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// satAdd adds two int64 path costs, clamping at the solver's infinity.
+// a is a distance in [0, inf]; b may be negative (a reduced-cost
+// correction) but never drives a legal sum below zero.
+func satAdd(a, b int64) int64 {
+	const inf = math.MaxInt64 / 4
+	s := a + b
+	if s > inf || (b > 0 && s < a) {
+		return inf
+	}
+	return s
+}
 
 // MinCostFlow sends up to maxFlow units from src to dst (use
 // math.MaxInt64 for max flow) and returns the flow actually sent and
@@ -111,7 +139,12 @@ func (g *Graph) MinCostFlow(src, dst int, maxFlow int64) (flow, cost int64) {
 				if e.cap-e.flow <= 0 {
 					continue
 				}
-				nd := it.dist + e.cost + pot[it.node] - pot[e.to]
+				// Reduced-cost relaxation, saturating at inf: with costs
+				// bounded by MaxCost the sums are exact for any graph the
+				// transportation front end can build; pathological graphs
+				// clamp (the node is treated as unreachable) instead of
+				// wrapping around and corrupting the potentials.
+				nd := satAdd(satAdd(it.dist, e.cost), pot[it.node]-pot[e.to])
 				if nd < dist[e.to] {
 					dist[e.to] = nd
 					prevEdge[e.to] = id

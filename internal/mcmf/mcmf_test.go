@@ -212,3 +212,70 @@ func BenchmarkAssign256x16(b *testing.B) {
 		}
 	}
 }
+
+// Regression test for the int64 overflow guard. Before MaxCost, AddEdge
+// accepted arbitrary int64 costs; the solver's Dijkstra then computed
+// dist + cost sums that blew past its internal infinity (and, with
+// accumulated Johnson potentials, past MaxInt64), so edges carrying
+// overflow-scale costs were silently unroutable and potentials could
+// corrupt. The adversarial instance below is a single feasible edge
+// whose cost exceeds the solver's infinity: pre-fix it is accepted and
+// then strands the flow at 0.
+func TestOverflowScaleCostGuard(t *testing.T) {
+	g := NewGraph(2)
+	rejected := func() (r bool) {
+		defer func() { r = recover() != nil }()
+		g.AddEdge(0, 1, 1, math.MaxInt64/2)
+		return
+	}()
+	if !rejected {
+		// Pre-fix behavior: the edge was accepted, so it must at least
+		// be routable — it is the only path and it has capacity.
+		flow, _ := g.MinCostFlow(0, 1, 1)
+		if flow != 1 {
+			t.Fatalf("AddEdge accepted cost %d but MinCostFlow stranded the flow (flow=%d, want 1): cost overflow corrupts shortest-path distances", int64(math.MaxInt64/2), flow)
+		}
+		t.Fatal("AddEdge accepted an overflow-scale cost; it must reject costs above MaxCost")
+	}
+}
+
+// Costs at the documented bound must route exactly: a two-edge chain of
+// MaxCost edges yields flow 1 at cost 2*MaxCost, and repeated
+// augmentations over a ladder of near-bound parallel paths keep exact
+// totals (the saturating adds only clamp genuinely unreachable sums).
+func TestMaxCostEdgesRouteExactly(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1, MaxCost)
+	g.AddEdge(1, 2, 1, MaxCost)
+	flow, cost := g.MinCostFlow(0, 2, 1)
+	if flow != 1 || cost != 2*MaxCost {
+		t.Fatalf("flow=%d cost=%d, want 1 and %d", flow, cost, int64(2*MaxCost))
+	}
+
+	// Ladder: k parallel src->mid_i->dst paths with ascending near-bound
+	// costs; max flow must use all of them at the exact total.
+	const k = 5
+	g = NewGraph(2 + k)
+	var want int64
+	for i := 0; i < k; i++ {
+		c := MaxCost - int64(i)
+		g.AddEdge(0, 2+i, 1, c)
+		g.AddEdge(2+i, 1, 1, c)
+		want += 2 * c
+	}
+	flow, cost = g.MinCostFlow(0, 1, math.MaxInt64)
+	if flow != k || cost != want {
+		t.Fatalf("ladder: flow=%d cost=%d, want %d and %d", flow, cost, k, want)
+	}
+
+	// And through the transportation front end.
+	assign, total, err := Assign(2, 2, 1, func(i, b int) int64 {
+		if i == b {
+			return 0
+		}
+		return MaxCost
+	})
+	if err != nil || total != 0 || assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("Assign with MaxCost off-diagonal: assign=%v total=%d err=%v", assign, total, err)
+	}
+}

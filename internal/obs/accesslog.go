@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// accessSeq numbers requests process-wide so interleaved log lines from
+// several listeners still correlate.
+var accessSeq atomic.Uint64
+
+// AccessLog wraps next with a structured access log: one slog record
+// per request carrying the request id, method, path, response status,
+// bytes written and wall duration. A nil logger returns next unchanged.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", fmt.Sprintf("%08x", accessSeq.Add(1))),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes; an implicit 200 (first Write without WriteHeader) is
+// recorded as such.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it streams.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns a mux serving the runtime's profiling and
+// introspection endpoints:
+//
+//	/debug/pprof/           index, plus heap, goroutine, block, mutex...
+//	/debug/pprof/profile    30s CPU profile
+//	/debug/pprof/trace      execution trace
+//	/debug/vars             expvar JSON (cmdline, memstats)
+//
+// It builds its own mux instead of relying on net/http/pprof's
+// DefaultServeMux registration, so importing obs never leaks profiling
+// endpoints onto a production handler. Profiles expose memory contents
+// and timing side channels: bind the listener serving this handler to
+// loopback (the pimserve -debug-addr flag defaults to off and should
+// stay on 127.0.0.1 in production).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseExposition validates one scrape of the text format and returns
+// every sample as name{labels} -> value. It fails the test on any line
+// that is neither a well-formed comment nor a well-formed sample.
+func parseExposition(t testing.TB, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# ") {
+			rest := line[2:]
+			if !strings.HasPrefix(rest, "HELP ") && !strings.HasPrefix(rest, "TYPE ") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		// name{labels} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil && val != "+Inf" && val != "-Inf" {
+			t.Fatalf("sample %q has unparsable value %q: %v", key, val, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			name = key[:i]
+		}
+		if !metricNameRE.MatchString(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum")) {
+			t.Fatalf("invalid metric name in %q", line)
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q in one scrape", key)
+		}
+		f, _ := strconv.ParseFloat(val, 64)
+		samples[key] = f
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// Satellite gate: N goroutines hammer one histogram and one counter
+// while a reader scrapes /metrics in a loop. Every scrape must parse,
+// and every counter-like series (counters, histogram buckets, _count)
+// must be monotone from scrape to scrape.
+func TestConcurrentScrapeParsesAndIsMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "Hammered counter.")
+	h := r.Histogram("hammer_seconds", "Hammered histogram.", LatencyBuckets)
+	hv := r.HistogramVec("hammer_stage_seconds", "Hammered labeled histogram.", "stage", []float64{0.001, 1})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stage := []string{"decode", "sched", "verify"}[w%3]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%100) / 1000)
+				hv.With(stage).Observe(0.0005)
+			}
+		}(w)
+	}
+
+	scrapes := 40
+	if testing.Short() {
+		scrapes = 10
+	}
+	prev := map[string]float64{}
+	for scrape := 0; scrape < scrapes; scrape++ {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %d: status %d err %v", scrape, resp.StatusCode, err)
+		}
+		samples := parseExposition(t, string(body))
+		if len(samples) == 0 {
+			t.Fatalf("scrape %d: no samples", scrape)
+		}
+		for key, v := range samples {
+			if strings.Contains(key, "_sum") {
+				continue // sums are floats, monotone too, but skip fp pedantry
+			}
+			if was, ok := prev[key]; ok && v < was {
+				t.Fatalf("scrape %d: %s went backwards: %v -> %v", scrape, key, was, v)
+			}
+			prev[key] = v
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final consistency: a quiescent scrape agrees with the atomics.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+	if got := samples["hammer_total"]; got != float64(c.Value()) {
+		t.Fatalf("final hammer_total %v != counter %d", got, c.Value())
+	}
+	if got := samples["hammer_seconds_count"]; got != float64(h.Count()) {
+		t.Fatalf("final hammer_seconds_count %v != histogram count %d", got, h.Count())
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil))
+	handler := AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/teapot" {
+			w.WriteHeader(http.StatusTeapot)
+		}
+		w.Write([]byte("hello"))
+	}))
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	for _, path := range []string{"/ok", "/teapot"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log lines = %d, want 2:\n%s", len(lines), out)
+	}
+	for i, want := range []struct{ path, status string }{{"/ok", "status=200"}, {"/teapot", "status=418"}} {
+		for _, frag := range []string{"method=GET", "path=" + want.path, want.status, "bytes=5", "id=", "duration="} {
+			if !strings.Contains(lines[i], frag) {
+				t.Fatalf("line %d missing %q: %s", i, frag, lines[i])
+			}
+		}
+	}
+
+	// nil logger: middleware must vanish, not panic.
+	if got := AccessLog(nil, handler); got == nil {
+		t.Fatal("AccessLog(nil, h) returned nil")
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestDebugHandler(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/vars"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Fatalf("%s: status %d, %d bytes", path, resp.StatusCode, len(body))
+		}
+	}
+}

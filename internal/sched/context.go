@@ -2,8 +2,10 @@ package sched
 
 import (
 	"context"
+	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -16,22 +18,31 @@ import (
 // (such as the scheduling service's worker pool) should release their
 // slot only when the background work has actually finished, via the
 // done callback variants.
+//
+// All wrappers record stage spans into any obs.Stages carried by the
+// context (obs.WithStages): "sched.<algorithm>" around scheduler runs
+// and the model's "cost.*" stages around table builds. The spans time
+// the work itself, inside the worker goroutine, so a run abandoned by
+// an expired context still records its true duration on completion.
 
 // NewProblemContext is NewProblem under a context: it builds the cost
 // model and residence table unless the context expires first, in which
 // case it returns the context's error. The abandoned build completes in
 // the background.
 func NewProblemContext(ctx context.Context, t *trace.Trace, capacity int) (*Problem, error) {
+	stages := obs.StagesFrom(ctx)
 	return await(ctx, func() (*Problem, error) {
-		return NewProblem(t, capacity), nil
+		m := cost.NewModel(t)
+		if stages != nil {
+			m.Stages = stages
+		}
+		return &Problem{Model: m, Table: m.BuildResidenceTable(), Capacity: capacity}, nil
 	})
 }
 
 // RunContext runs s.Schedule(p) unless the context expires first.
 func RunContext(ctx context.Context, s Scheduler, p *Problem) (cost.Schedule, error) {
-	return await(ctx, func() (cost.Schedule, error) {
-		return s.Schedule(p)
-	})
+	return RunContextDone(ctx, s, p, nil)
 }
 
 // RunContextDone is RunContext with a completion hook: done is called
@@ -40,7 +51,10 @@ func RunContext(ctx context.Context, s Scheduler, p *Problem) (cost.Schedule, er
 // Worker pools use it to hold their concurrency slot for the full
 // lifetime of the computation, not just of the request.
 func RunContextDone(ctx context.Context, s Scheduler, p *Problem, done func()) (cost.Schedule, error) {
+	stages := obs.StagesFrom(ctx)
 	return awaitDone(ctx, func() (cost.Schedule, error) {
+		sp := stages.Start("sched." + strings.ToLower(s.Name()))
+		defer sp.End()
 		return s.Schedule(p)
 	}, done)
 }

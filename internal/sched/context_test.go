@@ -3,10 +3,13 @@ package sched
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -71,6 +74,90 @@ func TestRunContextExpiredContext(t *testing.T) {
 	if _, err := NewProblemContext(ctx, contextTrace(), 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("NewProblemContext err = %v, want context.Canceled", err)
 	}
+}
+
+// TestContextStageSpans: the context wrappers record stage spans into
+// an obs.Stages carried by the context — "sched.<algorithm>" around the
+// run and the model's "cost.*" stages around the table build — and a
+// run abandoned by a cancelled context still records on completion.
+func TestContextStageSpans(t *testing.T) {
+	var mu sync.Mutex
+	got := map[string]int{}
+	ctx := obs.WithStages(context.Background(), func(stage string, _ time.Duration) {
+		mu.Lock()
+		got[stage]++
+		mu.Unlock()
+	})
+
+	p, err := NewProblemContext(ctx, contextTrace(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunContext(ctx, SCDS{}, p); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if got["cost.residence_table"] != 1 || got["sched.scds"] != 1 {
+		t.Fatalf("stage counts = %v, want one cost.residence_table and one sched.scds", got)
+	}
+	mu.Unlock()
+
+	// A bare context must not record anywhere (nil-safe path).
+	if _, err := RunContext(context.Background(), SCDS{}, p); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if got["sched.scds"] != 1 {
+		t.Fatalf("bare-context run leaked a span: %v", got)
+	}
+	mu.Unlock()
+
+	// Abandoned runs record when the work actually finishes.
+	recorded := make(chan string, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	actx := obs.WithStages(context.Background(), func(stage string, _ time.Duration) {
+		recorded <- stage
+	})
+	actx, cancel := context.WithCancel(actx)
+	slow := hookScheduler{name: "SLOW", hook: func() {
+		close(started)
+		<-release
+	}}
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, err := RunContext(actx, slow, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case s := <-recorded:
+		t.Fatalf("span %q recorded before the abandoned run finished", s)
+	default:
+	}
+	close(release)
+	select {
+	case s := <-recorded:
+		if s != "sched.slow" {
+			t.Fatalf("abandoned run recorded stage %q, want sched.slow", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned run never recorded its span")
+	}
+}
+
+// hookScheduler blocks inside Schedule until its hook returns, to model
+// a long scheduler run.
+type hookScheduler struct {
+	name string
+	hook func()
+}
+
+func (h hookScheduler) Name() string { return h.name }
+func (h hookScheduler) Schedule(p *Problem) (cost.Schedule, error) {
+	h.hook()
+	return SCDS{}.Schedule(p)
 }
 
 // TestRunContextDoneFiresAfterAbandonment pins the worker-pool

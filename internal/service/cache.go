@@ -38,6 +38,12 @@ type tableCache struct {
 }
 
 func newTableCache(max int) *tableCache {
+	// A capacity below one would let acquire evict the entry it just
+	// inserted, silently degrading singleflight to build-per-request;
+	// clamp so at least the in-flight entry always survives.
+	if max < 1 {
+		max = 1
+	}
 	return &tableCache{max: max, ll: list.New(), items: make(map[trace.Fingerprint]*list.Element)}
 }
 
@@ -60,9 +66,13 @@ func (c *tableCache) acquire(fp trace.Fingerprint) (entry *cacheEntry, builder b
 	}
 	c.misses++
 	e := &cacheEntry{fp: fp, ready: make(chan struct{})}
-	c.items[fp] = c.ll.PushFront(e)
+	el := c.ll.PushFront(e)
+	c.items[fp] = el
 	for c.ll.Len() > c.max {
 		back := c.ll.Back()
+		if back == el {
+			break // never evict the entry this acquire just inserted
+		}
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).fp)
 		c.evictions++

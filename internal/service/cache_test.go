@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// fpN returns a distinct fingerprint for each n.
+func fpN(n byte) trace.Fingerprint {
+	var fp trace.Fingerprint
+	fp[0] = n
+	return fp
+}
+
+// Regression test: a tableCache constructed with max <= 1 must still
+// singleflight. Before the guard, newTableCache(0) accepted the bogus
+// capacity and acquire evicted the entry it had just inserted, so every
+// request — even over a trace just seen — re-elected a builder and the
+// cache silently degraded to build-per-request.
+func TestTableCacheTinyCapacitySingleflights(t *testing.T) {
+	for _, max := range []int{0, 1} {
+		c := newTableCache(max)
+		e, builder := c.acquire(fpN(1))
+		if !builder {
+			t.Fatalf("max=%d: first acquire did not elect a builder", max)
+		}
+		c.publish(e, nil, nil)
+		for i := 0; i < 3; i++ {
+			e2, builder := c.acquire(fpN(1))
+			if builder {
+				t.Fatalf("max=%d: acquire %d re-elected a builder for a cached fingerprint (the entry evicted itself)", max, i)
+			}
+			select {
+			case <-e2.ready:
+			default:
+				t.Fatalf("max=%d: acquire %d returned an unpublished entry with no builder", max, i)
+			}
+		}
+		hits, misses, _, _, entries := c.counters()
+		if hits != 3 || misses != 1 || entries != 1 {
+			t.Fatalf("max=%d: hits=%d misses=%d entries=%d, want 3/1/1", max, hits, misses, entries)
+		}
+	}
+}
+
+// The same failure observed end to end: repeated requests over one
+// trace must build exactly one residence table (tables_built ==
+// distinct traces) even when the cache capacity is degenerate.
+func TestTinyCacheTablesBuiltEqualsDistinctTraces(t *testing.T) {
+	for _, max := range []int{0, 1} {
+		svc := New(Config{})
+		svc.cache = newTableCache(max) // bypass Config's default clamp
+		text := traceText(t, "lu", 4, grid.Square(2))
+		for i := 0; i < 4; i++ {
+			if _, err := svc.Schedule(context.Background(), Request{Trace: text, Algorithm: "scds"}); err != nil {
+				t.Fatalf("max=%d: request %d: %v", max, i, err)
+			}
+		}
+		if st := svc.Stats(); st.TablesBuilt != 1 {
+			t.Errorf("max=%d: tables_built = %d after 4 requests over 1 distinct trace, want 1", max, st.TablesBuilt)
+		}
+		svc.Close()
+	}
+}
+
+// Eviction must never remove the entry acquire just inserted, even
+// under interleaved fingerprints at capacity 1: the newest entry is the
+// one the caller is about to build.
+func TestTableCacheNeverEvictsJustInserted(t *testing.T) {
+	c := newTableCache(1)
+	for n := byte(1); n <= 4; n++ {
+		e, builder := c.acquire(fpN(n))
+		if !builder {
+			t.Fatalf("fingerprint %d: expected builder election", n)
+		}
+		if _, ok := c.items[fpN(n)]; !ok {
+			t.Fatalf("fingerprint %d: just-inserted entry already evicted", n)
+		}
+		c.publish(e, nil, nil)
+	}
+	if _, _, _, evictions, entries := c.counters(); entries != 1 || evictions != 3 {
+		t.Fatalf("entries=%d evictions=%d, want 1 entry and 3 evictions of older entries", entries, evictions)
+	}
+}

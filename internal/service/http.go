@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the service's HTTP surface:
@@ -12,6 +13,7 @@ import (
 //	POST /schedule[?verify=true]  run a scheduler over an inline trace
 //	GET  /healthz                 liveness (503 once shutdown began)
 //	GET  /stats                   counter snapshot as JSON
+//	GET  /metrics                 Prometheus text exposition
 //
 // Error responses are JSON objects {"error": "..."} with the status
 // conveying the class: 400 malformed request, 404 unknown path, 405 bad
@@ -22,6 +24,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/schedule", s.handleSchedule)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return mux
 }
 
@@ -55,7 +58,11 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		case isRequestError(err):
 			status = http.StatusBadRequest
 		case errors.Is(err, ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
+			// Headers must be installed before writeJSON calls
+			// WriteHeader: anything set afterwards is silently dropped.
+			// The backoff tracks the decaying average service time, so
+			// shed clients wait about one request's worth of work.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			status = http.StatusTooManyRequests
 		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
@@ -65,7 +72,9 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err.Error())
 		return
 	}
+	sp := s.stages.Start("encode")
 	writeJSON(w, http.StatusOK, resp)
+	sp.End()
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

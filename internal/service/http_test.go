@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -238,6 +240,90 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	}
 }
 
+// TestHTTPMetricsEndpoint scrapes /metrics around /schedule round-trips
+// and asserts the counters and stage histograms move: two requests for
+// the same trace must show one table build (miss) and one cache hit, a
+// decode/sched/encode stage sample per request, and a completed-request
+// latency observation per request.
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := client.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("GET /metrics: Content-Type %q", ct)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	sample := func(body, series string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(body, "\n") {
+			if rest, ok := strings.CutPrefix(line, series+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("series %s: bad value %q", series, rest)
+				}
+				return v
+			}
+		}
+		t.Fatalf("series %s absent from scrape:\n%s", series, body)
+		return 0
+	}
+
+	before := scrape()
+	if got := sample(before, "pim_requests_total"); got != 0 {
+		t.Fatalf("pim_requests_total before traffic = %v, want 0", got)
+	}
+
+	text := traceText(t, "lu", 4, grid.Square(2))
+	for i := 0; i < 2; i++ {
+		resp, data := postJSON(t, client, ts.URL+"/schedule", Request{Trace: text, Algorithm: "scds"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, data)
+		}
+	}
+
+	after := scrape()
+	for series, want := range map[string]float64{
+		"pim_requests_total":                                    2,
+		"pim_requests_completed_total":                          2,
+		"pim_tables_built_total":                                1,
+		"pim_cache_misses_total":                                1,
+		"pim_cache_hits_total":                                  1,
+		"pim_cache_entries":                                     1,
+		"pim_request_duration_seconds_count":                    2,
+		`pim_stage_duration_seconds_count{stage="decode"}`:      2,
+		`pim_stage_duration_seconds_count{stage="fingerprint"}`: 2,
+		`pim_stage_duration_seconds_count{stage="table.build"}`: 1,
+		`pim_stage_duration_seconds_count{stage="table.hit"}`:   1,
+		`pim_stage_duration_seconds_count{stage="sched.scds"}`:  2,
+		`pim_stage_duration_seconds_count{stage="encode"}`:      2,
+	} {
+		if got := sample(after, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if !strings.Contains(after, `pim_stage_duration_seconds_bucket{stage="sched.scds",le="+Inf"}`) {
+		t.Error("scrape lacks the +Inf bucket of the sched.scds stage histogram")
+	}
+}
+
 func TestHTTPLoadShedding(t *testing.T) {
 	svc := New(Config{MaxInflight: 1})
 	defer svc.Close()
@@ -292,4 +378,93 @@ func TestHTTPDeadlineExpiry(t *testing.T) {
 		t.Fatalf("status = %d, want 504 (%s)", resp.StatusCode, data)
 	}
 	decodeError(t, data)
+}
+
+// Regression test: Retry-After must track observed service times, not a
+// hardcoded constant. A 2.1s request is injected (the worker test hook
+// stalls the first request), after which a load-shed response must
+// advertise a backoff covering the decayed average service time —
+// pre-fix the header was always "1" regardless of how slow the service
+// actually was. The header must also always parse as a positive
+// integer, and with no history the floor is 1 second.
+func TestRetryAfterTracksServiceTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps >2s to inject a slow service time")
+	}
+	svc := New(Config{MaxInflight: 1})
+	defer svc.Close()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	svc.testHookRunning = func() {
+		switch calls.Add(1) {
+		case 1:
+			time.Sleep(2100 * time.Millisecond) // the injected slow request
+		case 2:
+			close(entered) // holds the only slot while we provoke a shed
+			<-release
+		}
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	text := traceText(t, "lu", 4, grid.Square(2))
+
+	// No-history shed first? No: floor is checked on a fresh service below.
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/schedule", Request{Trace: text, Algorithm: "scds"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("slow request: status %d (%s)", resp.StatusCode, data)
+	}
+
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		b, _ := json.Marshal(Request{Trace: text, Algorithm: "scds"})
+		resp, err := ts.Client().Post(ts.URL+"/schedule", "application/json", bytes.NewReader(b))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	resp, data = postJSON(t, ts.Client(), ts.URL+"/schedule", Request{Trace: text, Algorithm: "scds"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", resp.StatusCode, data)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		t.Fatalf("Retry-After %q does not parse as a positive integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if secs < 2 {
+		t.Errorf("Retry-After = %ds after a 2.1s service time; the backoff must track observed service times", secs)
+	}
+	close(release)
+	<-blocked
+
+	// A fresh service with no completed requests floors at 1 second.
+	svc2 := New(Config{MaxInflight: 1})
+	defer svc2.Close()
+	entered2 := make(chan struct{})
+	release2 := make(chan struct{})
+	var once sync.Once
+	svc2.testHookRunning = func() {
+		once.Do(func() { close(entered2) })
+		<-release2
+	}
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	go func() {
+		b, _ := json.Marshal(Request{Trace: text, Algorithm: "scds"})
+		resp, err := ts2.Client().Post(ts2.URL+"/schedule", "application/json", bytes.NewReader(b))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered2
+	resp, _ = postJSON(t, ts2.Client(), ts2.URL+"/schedule", Request{Trace: text, Algorithm: "scds"})
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After with no service-time history = %q, want floor \"1\"", got)
+	}
+	close(release2)
 }

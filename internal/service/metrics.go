@@ -1,0 +1,68 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serviceMetrics is the obs registry view over the service. The hot
+// path keeps writing the same plain atomics it always did (and the
+// stage histograms, which are themselves single atomic increments); the
+// registry reads everything else lazily at scrape time through func
+// metrics, so /metrics costs the request path nothing.
+type serviceMetrics struct {
+	reg     *obs.Registry
+	stage   *obs.HistogramVec
+	request *obs.Histogram
+}
+
+func newServiceMetrics(s *Service) *serviceMetrics {
+	reg := obs.NewRegistry()
+	m := &serviceMetrics{
+		reg: reg,
+		stage: reg.HistogramVec("pim_stage_duration_seconds",
+			"Time spent in each schedule-pipeline stage (decode, fingerprint, table.build/wait/hit, sched.<algorithm>, verify, encode).",
+			"stage", obs.LatencyBuckets),
+		request: reg.Histogram("pim_request_duration_seconds",
+			"End-to-end latency of completed schedule requests.", obs.LatencyBuckets),
+	}
+	reg.CounterFunc("pim_requests_total", "Schedule requests received.", s.requests.Load)
+	reg.CounterFunc("pim_requests_completed_total", "Schedule requests completed successfully.", s.completed.Load)
+	reg.LabeledCounterFunc("pim_requests_rejected_total", "Requests shed before running.",
+		"reason", "overload", s.rejectedOverload.Load)
+	reg.LabeledCounterFunc("pim_requests_rejected_total", "Requests shed before running.",
+		"reason", "closed", s.rejectedClosed.Load)
+	reg.CounterFunc("pim_bad_requests_total", "Malformed or infeasible requests.", s.badRequests.Load)
+	reg.CounterFunc("pim_deadline_expired_total", "Requests abandoned by an expired deadline.", s.deadlineExpired.Load)
+	reg.CounterFunc("pim_internal_errors_total", "Requests failed by internal errors.", s.internalErrors.Load)
+	reg.CounterFunc("pim_tables_built_total", "Residence tables actually built (elected cache misses).", s.tablesBuilt.Load)
+	reg.GaugeFunc("pim_requests_inflight", "Schedule computations currently running.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("pim_retry_after_seconds", "Backoff currently advertised on load-shed responses.",
+		func() float64 { return float64(s.retryAfterSeconds()) })
+
+	cacheCounter := func(pick func(hits, misses, shared, evictions uint64) uint64) func() uint64 {
+		return func() uint64 {
+			h, mi, sh, ev, _ := s.cache.counters()
+			return pick(h, mi, sh, ev)
+		}
+	}
+	reg.CounterFunc("pim_cache_hits_total", "Residence-table cache hits.",
+		cacheCounter(func(h, _, _, _ uint64) uint64 { return h }))
+	reg.CounterFunc("pim_cache_misses_total", "Residence-table cache misses.",
+		cacheCounter(func(_, mi, _, _ uint64) uint64 { return mi }))
+	reg.CounterFunc("pim_cache_shared_builds_total", "Concurrent misses that piggybacked on an in-flight build.",
+		cacheCounter(func(_, _, sh, _ uint64) uint64 { return sh }))
+	reg.CounterFunc("pim_cache_evictions_total", "Residence-table cache evictions.",
+		cacheCounter(func(_, _, _, ev uint64) uint64 { return ev }))
+	reg.GaugeFunc("pim_cache_entries", "Residence-table cache entries resident.",
+		func() float64 { _, _, _, _, n := s.cache.counters(); return float64(n) })
+	return m
+}
+
+// stageSink adapts the stage histogram vec to the obs.Stages hook the
+// pipeline spans record into.
+func (m *serviceMetrics) stageSink() obs.Stages {
+	return func(stage string, d time.Duration) { m.stage.With(stage).ObserveDuration(d) }
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/verify"
@@ -176,6 +177,15 @@ type Service struct {
 	inflight         atomic.Int64
 	tablesBuilt      atomic.Uint64
 
+	// ewmaNanos is the decaying average of completed-request service
+	// times, backing the Retry-After header on load-shed responses.
+	ewmaNanos atomic.Int64
+
+	// metrics is the obs registry over the counters above plus the
+	// per-stage latency histograms; stages is the span sink feeding it.
+	metrics *serviceMetrics
+	stages  obs.Stages
+
 	// testHookRunning, when set, is called by the worker after it has
 	// claimed its concurrency slot and before any heavy work; tests use
 	// it to hold a request in-flight deterministically.
@@ -188,7 +198,52 @@ func New(cfg Config) *Service {
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
+	s.metrics = newServiceMetrics(s)
+	s.stages = s.metrics.stageSink()
 	return s
+}
+
+// Metrics returns the service's metric registry (served at /metrics by
+// Handler); callers embedding the service elsewhere can mount or
+// extend it.
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
+
+// observeServiceTime folds one completed request's duration into the
+// decaying average behind Retry-After (alpha = 1/8; the first sample
+// seeds the average directly).
+func (s *Service) observeServiceTime(d time.Duration) {
+	for {
+		old := s.ewmaNanos.Load()
+		next := d.Nanoseconds()
+		if next < 1 {
+			next = 1 // a zero average would look unseeded
+		}
+		if old > 0 {
+			next = old + (next-old)/8
+			if next < 1 {
+				next = 1
+			}
+		}
+		if s.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds is the backoff advertised on load-shed responses:
+// the decayed average service time rounded up to whole seconds,
+// floored at 1 (no history looks like a fast service, and Retry-After
+// must stay a positive integer) and capped at 60 so one pathological
+// request cannot park clients for minutes.
+func (s *Service) retryAfterSeconds() int {
+	secs := (s.ewmaNanos.Load() + int64(time.Second) - 1) / int64(time.Second)
+	switch {
+	case secs < 1:
+		return 1
+	case secs > 60:
+		return 60
+	}
+	return int(secs)
 }
 
 // Closed reports whether Close has begun; /healthz uses it.
@@ -240,8 +295,11 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*Response, error) 
 	resp, err := s.schedule(ctx, req)
 	switch {
 	case err == nil:
-		resp.ElapsedUS = time.Since(start).Microseconds()
+		elapsed := time.Since(start)
+		resp.ElapsedUS = elapsed.Microseconds()
 		s.completed.Add(1)
+		s.observeServiceTime(elapsed)
+		s.metrics.request.ObserveDuration(elapsed)
 	case errors.Is(err, ErrOverloaded):
 		s.rejectedOverload.Add(1)
 	case errors.Is(err, ErrClosed):
@@ -262,6 +320,11 @@ func isRequestError(err error) bool {
 }
 
 func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) {
+	// Per-stage spans record into the service histograms and any sink
+	// the caller carried in via obs.WithStages (pimbench-style
+	// breakdowns over an embedded service).
+	stages := obs.Tee(s.stages, obs.StagesFrom(ctx))
+
 	scheduler, err := sched.ByName(req.Algorithm)
 	if err != nil {
 		return nil, &RequestError{Err: err}
@@ -272,7 +335,9 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 	if int64(len(req.Trace)) > s.cfg.maxBodyBytes() {
 		return nil, badRequest("trace text %d bytes exceeds limit %d", len(req.Trace), s.cfg.maxBodyBytes())
 	}
+	sp := stages.Start("decode")
 	tr, err := trace.Decode(strings.NewReader(req.Trace))
+	sp.End()
 	if err != nil {
 		return nil, &RequestError{Err: err}
 	}
@@ -311,24 +376,43 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 		defer cancel()
 	}
 
+	sp = stages.Start("fingerprint")
 	fp := tr.Fingerprint()
+	sp.End()
 	work := func() (*Response, error) {
 		if s.testHookRunning != nil {
 			s.testHookRunning()
 		}
 		entry, builder := s.cache.acquire(fp)
 		if builder {
+			sp := stages.Start("table.build")
 			m := cost.NewModel(tr)
+			// The model outlives this request in the cache, so it must
+			// not capture a request-scoped sink: service histograms only.
+			m.Stages = s.stages
 			s.cache.publish(entry, m, m.BuildResidenceTable())
 			s.tablesBuilt.Add(1)
+			sp.End()
 		} else {
-			// Another request is building this entry; its worker always
-			// completes (pure CPU work), so waiting here cannot hang.
-			// Our own caller is still free to time out via awaitDone.
-			<-entry.ready
+			select {
+			case <-entry.ready:
+				// Cache hit: record a zero-length span so hit counts
+				// appear alongside build and wait in the stage series.
+				stages.Record("table.hit", 0)
+			default:
+				// Another request is building this entry; its worker
+				// always completes (pure CPU work), so waiting here
+				// cannot hang. Our own caller is still free to time out
+				// via awaitDone.
+				sp := stages.Start("table.wait")
+				<-entry.ready
+				sp.End()
+			}
 		}
 		p := &sched.Problem{Model: entry.model, Table: entry.table, Capacity: req.Capacity}
+		sp := stages.Start("sched." + strings.ToLower(scheduler.Name()))
 		schedule, err := scheduler.Schedule(p)
+		sp.End()
 		if err != nil {
 			return nil, &RequestError{Err: err} // infeasible capacity etc.
 		}
@@ -345,14 +429,22 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 			CacheHit:    !builder,
 		}
 		if req.Verify {
-			if err := verify.Check(tr, schedule, req.Capacity); err != nil {
-				return nil, fmt.Errorf("service: referee rejected schedule: %v", err)
+			sp := stages.Start("verify")
+			err := func() error {
+				if err := verify.Check(tr, schedule, req.Capacity); err != nil {
+					return fmt.Errorf("service: referee rejected schedule: %v", err)
+				}
+				claim := verify.Breakdown{Residence: bd.Residence, Move: bd.Move}
+				if err := verify.CrossCheck(tr, schedule, p.Model.DataSize, claim); err != nil {
+					return fmt.Errorf("service: %v", err)
+				}
+				resp.Verified = &CostJSON{Residence: claim.Residence, Move: claim.Move, Total: claim.Total()}
+				return nil
+			}()
+			sp.End()
+			if err != nil {
+				return nil, err
 			}
-			claim := verify.Breakdown{Residence: bd.Residence, Move: bd.Move}
-			if err := verify.CrossCheck(tr, schedule, p.Model.DataSize, claim); err != nil {
-				return nil, fmt.Errorf("service: %v", err)
-			}
-			resp.Verified = &CostJSON{Residence: claim.Residence, Move: claim.Move, Total: claim.Total()}
 		}
 		return resp, nil
 	}

@@ -29,6 +29,47 @@ go test -race "$@" ./...
 echo "== service load test (-race -short) =="
 go test -race -short -run '^TestLoadConcurrentClients$' ./internal/service
 
+# Metrics scrape gate: boot a real pimserve, issue one schedule request,
+# and scrape /metrics, failing unless the expected series are present.
+# This exercises the full observability path (registry wiring, stage
+# spans, exposition rendering) over an actual socket, not httptest.
+echo "== /metrics scrape gate =="
+go build -o /tmp/pimserve-check ./cmd/pimserve
+SCRAPE_LOG="$(mktemp)"
+/tmp/pimserve-check -addr 127.0.0.1:0 >"$SCRAPE_LOG" 2>&1 &
+SCRAPE_PID=$!
+trap 'kill -TERM $SCRAPE_PID 2>/dev/null; wait $SCRAPE_PID 2>/dev/null || true' EXIT
+BASE=""
+for _ in $(seq 100); do
+	BASE="$(sed -n 's/^pimserve: listening on \([^ ]*\).*/\1/p' "$SCRAPE_LOG")"
+	[ -n "$BASE" ] && curl -sf "http://$BASE/healthz" >/dev/null 2>&1 && break
+	BASE=""
+	sleep 0.1
+done
+[ -n "$BASE" ] || { echo "check.sh: pimserve never came up"; cat "$SCRAPE_LOG"; exit 1; }
+curl -sf -X POST "http://$BASE/schedule" \
+	--data-binary @examples/pimserve/request.json >/dev/null
+SCRAPE="$(curl -sf "http://$BASE/metrics")"
+for series in \
+	'pim_requests_total 1' \
+	'pim_requests_completed_total 1' \
+	'pim_tables_built_total 1' \
+	'pim_cache_misses_total 1' \
+	'pim_stage_duration_seconds_bucket{stage="decode",le="+Inf"}' \
+	'pim_stage_duration_seconds_bucket{stage="table.build",le="+Inf"}' \
+	'pim_request_duration_seconds_count 1'; do
+	if ! grep -qF "$series" <<<"$SCRAPE"; then
+		echo "check.sh: /metrics scrape missing series: $series"
+		echo "$SCRAPE"
+		exit 1
+	fi
+done
+kill -TERM $SCRAPE_PID
+wait $SCRAPE_PID 2>/dev/null || true
+trap - EXIT
+rm -f "$SCRAPE_LOG"
+echo "metrics scrape gate passed"
+
 # Fuzz smoke: run each fuzz target's engine briefly under the race
 # detector on top of the committed seed corpus. `go test -fuzz` accepts
 # a pattern matching exactly one target, hence one invocation per
