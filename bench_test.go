@@ -10,12 +10,15 @@
 package pim_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/cost"
+	"repro/internal/costgraph"
 	"repro/internal/experiments"
 	"repro/internal/grid"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -187,6 +190,78 @@ func BenchmarkResidenceKernel(b *testing.B) {
 			_ = m.BuildResidenceTableNaive()
 		}
 	})
+}
+
+// layeredInstance builds a dense random layered DP instance: 8 layers
+// (execution windows) of residence-like costs on an n x n array.
+func layeredInstance(n int) [][]int64 {
+	rng := rand.New(rand.NewSource(77))
+	np := n * n
+	nodeCost := make([][]int64, 8)
+	for l := range nodeCost {
+		row := make([]int64, np)
+		for p := range row {
+			row[p] = int64(rng.Intn(1000))
+		}
+		nodeCost[l] = row
+	}
+	return nodeCost
+}
+
+// BenchmarkShortestLayeredPath is the headline DP-kernel comparison:
+// the separable min-plus sweep against the dense O(P²) relaxation on
+// 8x8, 16x16 and 32x32 arrays (8 layers each). scripts/bench.sh runs
+// the 16x16 pair and records the speedup in BENCH_SCHED.json; compare
+// runs with benchstat.
+func BenchmarkShortestLayeredPath(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		nodeCost := layeredInstance(n)
+		b.Run(fmt.Sprintf("sweep/%dx%d", n, n), func(b *testing.B) {
+			solver := costgraph.NewSolver(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solver.Solve(nodeCost, 3)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/%dx%d", n, n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				costgraph.ShortestLayeredPathNaive(nodeCost, n, n, 3)
+			}
+		})
+	}
+}
+
+// BenchmarkGOMCDS times the full scheduler with each DP kernel on a
+// capacity-tracked 16x16-array instance (the branch where the DP
+// dominates end to end); scripts/bench.sh snapshots both into
+// BENCH_SCHED.json.
+func BenchmarkGOMCDS(b *testing.B) {
+	rng := rand.New(rand.NewSource(78))
+	g := grid.Square(16)
+	const nd = 128
+	tr := trace.New(g, nd)
+	for w := 0; w < 8; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < 8*256; r++ {
+			win.Add(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)))
+		}
+	}
+	p := sched.NewProblem(tr, 2)
+	for _, kernel := range []costgraph.Kernel{costgraph.KernelSweep, costgraph.KernelNaive} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			s := sched.GOMCDS{Kernel: kernel}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkOnlineStudy regenerates the E7 online-vs-offline study at

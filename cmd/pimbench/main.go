@@ -21,10 +21,13 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/cost"
+	"repro/internal/costgraph"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -38,7 +41,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
-	table := fs.String("table", "all", "artifact: 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse, kernel or all")
+	table := fs.String("table", "all", "artifact: 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse, kernel, dpkernel or all")
 	gridSpec := fs.String("grid", "4x4", "processor array, WxH")
 	sizesSpec := fs.String("sizes", "8,16,32", "data matrix dimensions")
 	capFactor := fs.Int("capacity", 2, "memory capacity as a multiple of the minimum")
@@ -232,8 +235,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if want("dpkernel") {
+		ran = true
+		noReferee("dpkernel")
+		if err := dpKernelStudy(out, g, *n, *capFactor, cfg.Stages); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown artifact %q (want 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse, kernel or all)", *table)
+		return fmt.Errorf("unknown artifact %q (want 1, 2, example, ablation, sweep, sim, online, replica, exact, scaling, coarse, kernel, dpkernel or all)", *table)
 	}
 	if *doVerify {
 		if len(unrefereed) > 0 {
@@ -304,6 +314,67 @@ func kernelStudy(out io.Writer, g grid.Grid, n int, stages func(string, time.Dur
 	fmt.Fprintln(out, "kernels agree on all cells")
 	if fastDur > 0 {
 		fmt.Fprintf(out, "speedup: %.1fx\n", float64(naiveDur)/float64(fastDur))
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// dpKernelStudy times GOMCDS end to end with the separable min-plus
+// sweep DP kernel against the dense O(P²) relaxation on a dense random
+// capacitated instance, and cross-checks that the two schedules are
+// identical placement for placement (same centers, hence same cost),
+// so the printed speedup is attested to be a speedup of the *same*
+// scheduler. The companion artifact to `-table kernel` (PR 2's
+// residence-kernel comparison).
+func dpKernelStudy(out io.Writer, g grid.Grid, n, capFactor int, stages func(string, time.Duration)) error {
+	rng := rand.New(rand.NewSource(1998))
+	nd, np := trimData(n*n), g.NumProcs()
+	tr := trace.New(g, nd)
+	for w := 0; w < 8; w++ {
+		win := tr.AddWindow()
+		if nd == 0 {
+			continue
+		}
+		for r := 0; r < 8*np; r++ {
+			win.Add(rng.Intn(np), trace.DataID(rng.Intn(nd)))
+		}
+	}
+	capacity := 0
+	if nd > 0 && capFactor > 0 {
+		capacity = capFactor * placement.MinCapacity(nd, np)
+	}
+	m := cost.NewModel(tr)
+	m.Stages = stages
+	p := sched.NewProblemFromModel(m, capacity)
+
+	start := time.Now()
+	sweep, err := sched.GOMCDS{Kernel: costgraph.KernelSweep}.Schedule(p)
+	if err != nil {
+		return err
+	}
+	sweepDur := time.Since(start)
+	start = time.Now()
+	naive, err := sched.GOMCDS{Kernel: costgraph.KernelNaive}.Schedule(p)
+	if err != nil {
+		return err
+	}
+	naiveDur := time.Since(start)
+
+	if !sweep.Equal(naive) {
+		return fmt.Errorf("dpkernel divergence: sweep and naive GOMCDS schedules differ")
+	}
+
+	tbl := report.NewTable(fmt.Sprintf("GOMCDS DP kernels (%v array, %d items, %d windows, capacity %d)",
+		g, nd, tr.NumWindows(), capacity),
+		"kernel", "time", "total cost")
+	tbl.AddF(costgraph.KernelSweep, sweepDur.Round(time.Microsecond), m.TotalCost(sweep))
+	tbl.AddF(costgraph.KernelNaive, naiveDur.Round(time.Microsecond), m.TotalCost(naive))
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "kernels agree on every placement")
+	if sweepDur > 0 {
+		fmt.Fprintf(out, "speedup: %.1fx\n", float64(naiveDur)/float64(sweepDur))
 	}
 	fmt.Fprintln(out)
 	return nil

@@ -70,6 +70,22 @@ func TestKernelArtifact(t *testing.T) {
 	}
 }
 
+// TestDPKernelArtifact: the DP-kernel comparison must attest that the
+// sweep and dense GOMCDS runs produced identical schedules before it
+// reports any timing, so the speedup is a speedup of equal output.
+func TestDPKernelArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "dpkernel", "-n", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"GOMCDS DP kernels", "sweep", "naive", "kernels agree on every placement", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dpkernel output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
 	cases := [][]string{

@@ -4,16 +4,21 @@
 // The paper constructs, per data item, an edge-weighted directed
 // acyclic "cost-graph": a pseudo source s, one vertex per (execution
 // window, processor) pair, and a pseudo destination d. The shortest
-// s-to-d path selects the globally optimal center sequence. Two
+// s-to-d path selects the globally optimal center sequence. Three
 // implementations are provided:
 //
 //   - Graph, a general edge-weighted DAG with single-source shortest
 //     paths by topological relaxation — the literal construction from
-//     the paper, also usable for other scheduling graphs; and
+//     the paper, also usable for other scheduling graphs;
 //   - ShortestLayeredPath, a dynamic program specialized to the layered
 //     structure of cost-graphs that avoids materializing the O(n·m²)
-//     edges. It is what the production scheduler uses; tests verify it
-//     against Graph.
+//     edges but still relaxes every (from, to) pair per layer; and
+//   - Solver / ShortestLayeredPathGrid (sweep.go), the production
+//     kernel: the same DP with the per-layer relaxation done as a
+//     separable min-plus sweep in O(P) instead of O(P²), valid because
+//     the grid transition cost is size times the Manhattan distance.
+//     Tests and internal/verify pin it to the dense version
+//     path-for-path.
 package costgraph
 
 import (

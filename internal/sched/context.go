@@ -50,11 +50,19 @@ func RunContext(ctx context.Context, s Scheduler, p *Problem) (cost.Schedule, er
 // even if the context expired and RunContextDone already returned.
 // Worker pools use it to hold their concurrency slot for the full
 // lifetime of the computation, not just of the request.
+//
+// Schedulers implementing ContextScheduler (GOMCDS) receive the
+// context and abort between data items once it expires, so an
+// abandoned run releases its concurrency slot promptly instead of
+// grinding through the remaining items with the result discarded.
 func RunContextDone(ctx context.Context, s Scheduler, p *Problem, done func()) (cost.Schedule, error) {
 	stages := obs.StagesFrom(ctx)
 	return awaitDone(ctx, func() (cost.Schedule, error) {
 		sp := stages.Start("sched." + strings.ToLower(s.Name()))
 		defer sp.End()
+		if cs, ok := s.(ContextScheduler); ok {
+			return cs.ScheduleContext(ctx, p)
+		}
 		return s.Schedule(p)
 	}, done)
 }

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/costgraph"
+	"repro/internal/grid"
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// randomProblem builds a seeded random instance for the kernel and
+// allocation tests.
+func randomKernelProblem(rng *rand.Rand, g grid.Grid, nd, nw, refs, capacity int) *Problem {
+	tr := trace.New(g, nd)
+	for w := 0; w < nw; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < refs; r++ {
+			win.Add(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)))
+		}
+	}
+	return NewProblem(tr, capacity)
+}
+
+// TestGOMCDSKernelsProduceIdenticalSchedules pins the sweep and naive
+// DP kernels together at the scheduler level: same schedules (not just
+// costs) with and without capacity tracking, across random instances
+// including 1xN and Nx1 arrays.
+func TestGOMCDSKernelsProduceIdenticalSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	grids := []grid.Grid{grid.Square(3), grid.New(6, 1), grid.New(1, 6), grid.New(4, 2)}
+	for iter := 0; iter < 30; iter++ {
+		g := grids[iter%len(grids)]
+		nd := 1 + rng.Intn(8)
+		for _, capacity := range []int{0, 1 + (nd-1)/g.NumProcs()} {
+			p := randomKernelProblem(rng, g, nd, 1+rng.Intn(5), 1+rng.Intn(20), capacity)
+			// Vary item sizes so movement cost matters.
+			for d := range p.Model.DataSize {
+				p.Model.DataSize[d] = 1 + rng.Intn(3)
+			}
+			sweep := mustSchedule(t, GOMCDS{Kernel: costgraph.KernelSweep}, p)
+			naive := mustSchedule(t, GOMCDS{Kernel: costgraph.KernelNaive}, p)
+			if !sweep.Equal(naive) {
+				t.Fatalf("iter %d (%v, nd=%d, cap=%d): sweep schedule %v != naive %v",
+					iter, g, nd, capacity, sweep.Centers, naive.Centers)
+			}
+		}
+	}
+}
+
+// TestGOMCDSCapacityAllocsBounded is the -benchmem regression guard for
+// the capacity branch: before the Solver, every item allocated a fresh
+// W x P nodeCost matrix plus the DP's choice/next rows — Θ(D·W)
+// allocations per run. With solver scratch the per-item cost is one
+// path slice, so a whole run must stay well under D·W allocations.
+func TestGOMCDSCapacityAllocsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nd, nw = 32, 8
+	p := randomKernelProblem(rng, grid.Square(8), nd, nw, 256, placement.PaperCapacity(nd, 64))
+	if _, err := (GOMCDS{}).Schedule(p); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := (GOMCDS{}).Schedule(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := float64(nd * nw); allocs >= limit {
+		t.Fatalf("GOMCDS capacity run allocated %.0f times, want < %.0f (per-item scratch is back)", allocs, limit)
+	}
+}
+
+// TestGOMCDSPreCancelledContext checks the cancellation point: a
+// context that is already cancelled must abort both GOMCDS branches
+// promptly with the context's error and no partial schedule.
+func TestGOMCDSPreCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, capacity := range []int{0, 8} {
+		p := randomKernelProblem(rng, grid.Square(4), 16, 4, 64, capacity)
+		s, err := GOMCDS{}.ScheduleContext(ctx, p)
+		if err != context.Canceled {
+			t.Fatalf("capacity=%d: err = %v, want context.Canceled", capacity, err)
+		}
+		if s.Centers != nil {
+			t.Fatalf("capacity=%d: got partial schedule %v on cancellation", capacity, s.Centers)
+		}
+	}
+}
+
+// countingCtx reports Canceled from Err after a fixed number of calls,
+// making the "checks between items" property deterministic: the
+// capacity-tracked loop consults Err once per item, so a large instance
+// must stop early rather than run all D items.
+type countingCtx struct {
+	context.Context
+	calls       atomic.Int64
+	cancelAfter int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.cancelAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestGOMCDSCancelsBetweenItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const nd = 64
+	p := randomKernelProblem(rng, grid.Square(4), nd, 4, 64, 2*((nd+15)/16))
+	ctx := &countingCtx{Context: context.Background(), cancelAfter: 3}
+	if _, err := (GOMCDS{}).ScheduleContext(ctx, p); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled after mid-run cancellation", err)
+	}
+	if calls := ctx.calls.Load(); calls > 10 {
+		t.Fatalf("loop consulted ctx.Err %d times after cancellation, expected an early abort", calls)
+	}
+}
+
+// TestRunContextRoutesContextScheduler verifies the RunContext plumbing
+// hands the live context to ContextScheduler implementations: a
+// pre-cancelled context must yield the context error with the done
+// callback fired promptly (the background run aborts instead of
+// completing the full schedule).
+func TestRunContextRoutesContextScheduler(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	p := randomKernelProblem(rng, grid.Square(4), 32, 8, 128, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	_, err := RunContextDone(ctx, GOMCDS{}, p, func() { close(done) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	<-done // fires immediately: pre-expiry short-circuits before the run
+}

@@ -17,12 +17,15 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/costgraph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/trace"
@@ -72,6 +75,16 @@ type Scheduler interface {
 	// Schedule computes the placement. It returns an error when the
 	// instance is infeasible (total memory smaller than the data set).
 	Schedule(p *Problem) (cost.Schedule, error)
+}
+
+// ContextScheduler is a Scheduler with internal cancellation points:
+// ScheduleContext observes the context between units of work and
+// returns the context's error promptly once it expires, instead of
+// running the full schedule to completion in the background.
+// RunContext routes through it when available.
+type ContextScheduler interface {
+	Scheduler
+	ScheduleContext(ctx context.Context, p *Problem) (cost.Schedule, error)
 }
 
 // processorList returns the processor indices sorted by ascending cost
@@ -216,13 +229,40 @@ func (LOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 // memory is full in a window are forbidden vertices for later items.
 // Without a capacity all items are independent and are scheduled in
 // parallel; the result is then exactly optimal per item.
-type GOMCDS struct{}
+//
+// The per-item DP runs the separable min-plus sweep kernel by default
+// (costgraph.KernelSweep, O(P) per layer); set Kernel to
+// costgraph.KernelNaive for the dense O(P²) relaxation. Both kernels
+// produce identical schedules — internal/verify pins them together —
+// so the choice is purely a speed/diagnostics knob.
+type GOMCDS struct {
+	// Kernel selects the layered-DP relaxation. The zero value is
+	// costgraph.KernelSweep, the fast separable kernel.
+	Kernel costgraph.Kernel
+}
 
 // Name implements Scheduler.
 func (GOMCDS) Name() string { return "GOMCDS" }
 
 // Schedule implements Scheduler.
 func (g GOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
+	return g.ScheduleContext(context.Background(), p)
+}
+
+// dpStage names the DP span recorded on the model's stage sink.
+func (g GOMCDS) dpStage() string {
+	if g.Kernel == costgraph.KernelNaive {
+		return "sched.dp.naive"
+	}
+	return "sched.dp.sweep"
+}
+
+// ScheduleContext implements ContextScheduler: it is Schedule with a
+// cancellation point between data items, so deadlines and cancellation
+// abort long runs mid-schedule instead of after the full D-item loop.
+// A partial schedule is never returned; on cancellation the result is
+// the zero Schedule and the context's error.
+func (g GOMCDS) ScheduleContext(ctx context.Context, p *Problem) (cost.Schedule, error) {
 	if err := p.feasible(); err != nil {
 		return cost.Schedule{}, err
 	}
@@ -234,14 +274,31 @@ func (g GOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 	if nw == 0 {
 		return cost.Schedule{Centers: centers}, nil
 	}
+	sp := obs.Stages(p.Model.Stages).Start(g.dpStage())
+	defer sp.End()
 
 	if p.Capacity <= 0 {
+		// Independent items: schedule in parallel, one solver per
+		// worker via the pool. Cancellation is checked per item; work
+		// already in flight finishes its current item, later items are
+		// skipped and the error returned.
+		pool := sync.Pool{New: func() any {
+			return costgraph.NewSolver(p.Model.Grid.Width(), p.Model.Grid.Height())
+		}}
 		parallel.ForEach(nd, func(d int) {
-			path := g.bestPath(p, d, nil)
+			if ctx.Err() != nil {
+				return
+			}
+			solver := pool.Get().(*costgraph.Solver)
+			path := g.bestPath(p, d, nil, solver)
+			pool.Put(solver)
 			for w := 0; w < nw; w++ {
 				centers[w][d] = path[w]
 			}
 		})
+		if err := ctx.Err(); err != nil {
+			return cost.Schedule{}, err
+		}
 		return cost.Schedule{Centers: centers}, nil
 	}
 
@@ -249,8 +306,12 @@ func (g GOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 	for w := range trackers {
 		trackers[w] = placement.NewTracker(np, p.Capacity)
 	}
+	solver := costgraph.NewSolver(p.Model.Grid.Width(), p.Model.Grid.Height())
 	for d := 0; d < nd; d++ {
-		path := g.bestPath(p, d, trackers)
+		if err := ctx.Err(); err != nil {
+			return cost.Schedule{}, err
+		}
+		path := g.bestPath(p, d, trackers, solver)
 		for w := 0; w < nw; w++ {
 			if !trackers[w].TryPlace(path[w]) {
 				panic("sched: GOMCDS chose a full processor (forbidden vertex leaked)")
@@ -262,16 +323,20 @@ func (g GOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 }
 
 // bestPath runs the cost-graph shortest path for one item. trackers,
-// when non-nil, mark full processors as forbidden vertices.
-func (GOMCDS) bestPath(p *Problem, d int, trackers []*placement.Tracker) []int {
+// when non-nil, mark full processors as forbidden vertices. The
+// solver's NodeCost scratch assembles the layer costs without per-item
+// allocation: rows alias the residence table directly when nothing is
+// forbidden and are materialized (table value or Inf) under capacity
+// tracking.
+func (g GOMCDS) bestPath(p *Problem, d int, trackers []*placement.Tracker, solver *costgraph.Solver) []int {
 	nw, np := p.Model.NumWindows(), p.Model.Grid.NumProcs()
-	nodeCost := make([][]int64, nw)
+	nodeCost := solver.NodeCost(nw)
 	for w := 0; w < nw; w++ {
 		if trackers == nil {
 			nodeCost[w] = p.Table[w][d]
 			continue
 		}
-		row := make([]int64, np)
+		row := nodeCost[w]
 		for c := 0; c < np; c++ {
 			if trackers[w].Capacity() > 0 && trackers[w].Used(c) >= trackers[w].Capacity() {
 				row[c] = costgraph.Inf
@@ -279,12 +344,15 @@ func (GOMCDS) bestPath(p *Problem, d int, trackers []*placement.Tracker) []int {
 				row[c] = p.Table[w][d][c]
 			}
 		}
-		nodeCost[w] = row
 	}
 	size := int64(p.Model.DataSize[d])
-	total, path := costgraph.ShortestLayeredPath(nodeCost, func(_, from, to int) int64 {
-		return size * int64(p.Model.Dist(from, to))
-	})
+	var total int64
+	var path []int
+	if g.Kernel == costgraph.KernelNaive {
+		total, path = costgraph.ShortestLayeredPathNaive(nodeCost, p.Model.Grid.Width(), p.Model.Grid.Height(), size)
+	} else {
+		total, path = solver.Solve(nodeCost, size)
+	}
 	if path == nil || total == costgraph.Inf {
 		// Feasibility was checked: every window has at least one free
 		// slot for every item scheduled one at a time.

@@ -1,24 +1,26 @@
 #!/usr/bin/env bash
-# Residence-kernel benchmark snapshot and drift guard.
+# Kernel benchmark snapshots and drift guards.
 #
-# Snapshot mode (default): runs BenchmarkResidenceKernel (separable
-# prefix-sum kernel vs naive per-cell kernel on a 16x16 array with
-# dense windows), prints the raw benchstat-compatible output, and
-# records ns/op for both kernels plus the speedup in
-# BENCH_RESIDENCE.json. Compare two runs with:
+# Snapshot mode (default): runs the two headline kernel comparisons —
+# BenchmarkResidenceKernel (separable prefix-sum residence kernel vs
+# naive per-cell kernel, 16x16 array) and BenchmarkShortestLayeredPath
+# + BenchmarkGOMCDS (separable min-plus sweep DP vs dense O(P²)
+# relaxation, 16x16 array) — prints the raw benchstat-compatible
+# output, and records ns/op plus the speedups in BENCH_RESIDENCE.json
+# and BENCH_SCHED.json. Compare two runs with:
 #
 #	scripts/bench.sh > old.txt   # on the baseline commit
 #	scripts/bench.sh > new.txt
 #	benchstat old.txt new.txt
 #
-# Check mode: `scripts/bench.sh --check [count]` runs a fresh benchmark
-# and FAILS (exit 1) if the separable kernel's ns/op regressed more
-# than BENCH_DRIFT_FACTOR x against the committed BENCH_RESIDENCE.json
-# snapshot; it never rewrites the snapshot. BENCH_DRIFT_FACTOR defaults
-# to 2.0 — generous because CI machines differ from the machine that
-# recorded the snapshot; it is a tripwire for algorithmic regressions
-# (e.g. the naive kernel sneaking back in as default), not a precise
-# perf gate. Override per run: BENCH_DRIFT_FACTOR=1.5 scripts/bench.sh --check
+# Check mode: `scripts/bench.sh --check [count]` runs fresh benchmarks
+# and FAILS (exit 1) if either fast kernel's ns/op regressed more than
+# BENCH_DRIFT_FACTOR x against its committed snapshot; it never
+# rewrites the snapshots. BENCH_DRIFT_FACTOR defaults to 2.0 — generous
+# because CI machines differ from the machine that recorded the
+# snapshot; it is a tripwire for algorithmic regressions (e.g. a naive
+# kernel sneaking back in as default), not a precise perf gate.
+# Override per run: BENCH_DRIFT_FACTOR=1.5 scripts/bench.sh --check
 #
 # Usage: scripts/bench.sh [--check] [count]   (default -count 5; --check defaults to 3)
 set -euo pipefail
@@ -36,17 +38,46 @@ else
 	COUNT="${1:-5}"
 fi
 
+FACTOR="${BENCH_DRIFT_FACTOR:-2.0}"
+
+# check_drift SNAPSHOT_FILE KEY FRESH_SUMMARY — compare one ns/op
+# metric between a fresh summary and the committed snapshot.
+check_drift() {
+	local file="$1" key="$2" summary="$3"
+	if [ ! -f "$file" ]; then
+		echo "bench.sh --check: no $file snapshot to compare against" >&2
+		exit 1
+	fi
+	local fresh base
+	fresh="$(echo "$summary" | awk -F'[ ,]+' -v k="\"$key\":" '$2 == k { print $3 }')"
+	base="$(awk -F'[ ,]+' -v k="\"$key\":" '$2 == k { print $3 }' "$file")"
+	if [ -z "$fresh" ] || [ -z "$base" ]; then
+		echo "bench.sh --check: could not parse $key (fresh='$fresh' base='$base')" >&2
+		exit 1
+	fi
+	echo
+	echo "bench.sh --check: $key fresh ${fresh} ns/op vs snapshot ${base} ns/op (allowed ${FACTOR}x)"
+	awk -v fresh="$fresh" -v base="$base" -v factor="$FACTOR" -v key="$key" 'BEGIN {
+		if (fresh > base * factor) {
+			printf "bench.sh --check: REGRESSION in %s: %.0f ns/op > %.2f x %.0f ns/op\n", key, fresh, factor, base > "/dev/stderr"
+			exit 1
+		}
+		printf "bench.sh --check: ok (%.2fx of snapshot)\n", fresh / base
+	}'
+}
+
+echo "== residence kernel =="
 RAW="$(go test -run '^$' -bench '^BenchmarkResidenceKernel$' -benchmem -count "$COUNT" .)"
 echo "$RAW"
 
-SUMMARY="$(echo "$RAW" | awk -v count="$COUNT" '
+RES_SUMMARY="$(echo "$RAW" | awk -v count="$COUNT" '
 /^BenchmarkResidenceKernel\/separable/ { sep += $3; nsep++ }
 /^BenchmarkResidenceKernel\/naive/     { nai += $3; nnai++ }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 END {
 	if (nsep == 0 || nnai == 0) {
-		print "bench.sh: no benchmark samples parsed" > "/dev/stderr"
+		print "bench.sh: no residence benchmark samples parsed" > "/dev/stderr"
 		exit 1
 	}
 	sep /= nsep; nai /= nnai
@@ -62,30 +93,47 @@ END {
 	printf "}\n"
 }')"
 
+echo
+echo "== layered DP kernel (GOMCDS) =="
+RAW_DP="$(go test -run '^$' -bench '^(BenchmarkShortestLayeredPath|BenchmarkGOMCDS)$' -benchmem -count "$COUNT" .)"
+echo "$RAW_DP"
+
+SCHED_SUMMARY="$(echo "$RAW_DP" | awk -v count="$COUNT" '
+/^BenchmarkShortestLayeredPath\/sweep\/16x16/ { swp += $3; nswp++ }
+/^BenchmarkShortestLayeredPath\/naive\/16x16/ { nai += $3; nnai++ }
+/^BenchmarkGOMCDS\/sweep/                     { gsw += $3; ngsw++ }
+/^BenchmarkGOMCDS\/naive/                     { gna += $3; ngna++ }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+END {
+	if (nswp == 0 || nnai == 0 || ngsw == 0 || ngna == 0) {
+		print "bench.sh: no layered-DP benchmark samples parsed" > "/dev/stderr"
+		exit 1
+	}
+	swp /= nswp; nai /= nnai; gsw /= ngsw; gna /= ngna
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkShortestLayeredPath\",\n"
+	printf "  \"grid\": \"16x16\",\n"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"count\": %d,\n", count
+	printf "  \"sweep_ns_per_op\": %.0f,\n", swp
+	printf "  \"naive_ns_per_op\": %.0f,\n", nai
+	printf "  \"speedup\": %.2f,\n", nai / swp
+	printf "  \"gomcds_sweep_ns_per_op\": %.0f,\n", gsw
+	printf "  \"gomcds_naive_ns_per_op\": %.0f,\n", gna
+	printf "  \"gomcds_speedup\": %.2f\n", gna / gsw
+	printf "}\n"
+}')"
+
 if [ "$CHECK" = 1 ]; then
-	if [ ! -f BENCH_RESIDENCE.json ]; then
-		echo "bench.sh --check: no BENCH_RESIDENCE.json snapshot to compare against" >&2
-		exit 1
-	fi
-	FACTOR="${BENCH_DRIFT_FACTOR:-2.0}"
-	FRESH="$(echo "$SUMMARY" | awk -F'[ ,]+' '/"separable_ns_per_op"/ { print $3 }')"
-	BASE="$(awk -F'[ ,]+' '/"separable_ns_per_op"/ { print $3 }' BENCH_RESIDENCE.json)"
-	if [ -z "$FRESH" ] || [ -z "$BASE" ]; then
-		echo "bench.sh --check: could not parse separable_ns_per_op (fresh='$FRESH' base='$BASE')" >&2
-		exit 1
-	fi
-	echo
-	echo "bench.sh --check: fresh separable ${FRESH} ns/op vs snapshot ${BASE} ns/op (allowed ${FACTOR}x)"
-	awk -v fresh="$FRESH" -v base="$BASE" -v factor="$FACTOR" 'BEGIN {
-		if (fresh > base * factor) {
-			printf "bench.sh --check: REGRESSION: %.0f ns/op > %.2f x %.0f ns/op\n", fresh, factor, base > "/dev/stderr"
-			exit 1
-		}
-		printf "bench.sh --check: ok (%.2fx of snapshot)\n", fresh / base
-	}'
+	check_drift BENCH_RESIDENCE.json separable_ns_per_op "$RES_SUMMARY"
+	check_drift BENCH_SCHED.json sweep_ns_per_op "$SCHED_SUMMARY"
+	check_drift BENCH_SCHED.json gomcds_sweep_ns_per_op "$SCHED_SUMMARY"
 else
-	echo "$SUMMARY" > BENCH_RESIDENCE.json
+	echo "$RES_SUMMARY" > BENCH_RESIDENCE.json
+	echo "$SCHED_SUMMARY" > BENCH_SCHED.json
 	echo
-	echo "bench.sh: wrote BENCH_RESIDENCE.json"
-	cat BENCH_RESIDENCE.json
+	echo "bench.sh: wrote BENCH_RESIDENCE.json and BENCH_SCHED.json"
+	cat BENCH_RESIDENCE.json BENCH_SCHED.json
 fi

@@ -78,6 +78,7 @@ FUZZTIME="${FUZZTIME:-10s}"
 if [ "$FUZZTIME" != "0" ]; then
 	echo "== fuzz smoke (-race, $FUZZTIME per target) =="
 	go test -race -run '^$' -fuzz '^FuzzResidenceKernels$' -fuzztime "$FUZZTIME" ./internal/verify
+	go test -race -run '^$' -fuzz '^FuzzLayeredKernels$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzVerifyCost$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzCheckSchedule$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzFingerprint$' -fuzztime "$FUZZTIME" ./internal/trace
