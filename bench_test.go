@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/costgraph"
+	"repro/internal/delta"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/sched"
@@ -262,6 +263,76 @@ func BenchmarkGOMCDS(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDeltaApply is the headline incremental-rescheduling
+// comparison: one edit_item delta on a middle window of a 64-window,
+// 64-item trace on a 16x16 array, then a fresh schedule. The
+// incremental path patches one residence-table row and resumes the
+// edited item's DP from the dirty layer; the full path rebuilds the
+// model, table and every item's DP from scratch — exactly what a
+// sessionless service does per request. The edit alternates between
+// two volume patterns so every iteration really changes state.
+// scripts/bench.sh snapshots both into BENCH_DELTA.json.
+func BenchmarkDeltaApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(79))
+	g := grid.Square(16)
+	const nd = 64
+	const nw = 64
+	tr := trace.New(g, nd)
+	for w := 0; w < nw; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < 4*256; r++ {
+			win.Add(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)))
+		}
+	}
+	np := g.NumProcs()
+	edits := [2][]int{make([]int, np), make([]int, np)}
+	for p := 0; p < np; p++ {
+		edits[0][p] = rng.Intn(3)
+		edits[1][p] = rng.Intn(3)
+	}
+	const editWindow = nw / 2
+	const editItem = trace.DataID(7)
+
+	b.Run("incremental", func(b *testing.B) {
+		s, err := delta.NewSession(tr, sched.GOMCDS{}, 0, delta.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Schedule(); err != nil { // warm: cold run priced outside the loop
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := delta.EditItemVolumes(editWindow, editItem, edits[i%2])
+			if _, err := s.Apply(d); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Schedule(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		cur := tr.Clone()
+		scheduler := sched.GOMCDS{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := delta.EditItemVolumes(editWindow, editItem, edits[i%2])
+			if err := delta.Materialize(cur, d); err != nil {
+				b.Fatal(err)
+			}
+			p := sched.NewProblem(cur, 0)
+			schedule, err := scheduler.Schedule(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = p.Model.Evaluate(schedule)
+		}
+	})
 }
 
 // BenchmarkOnlineStudy regenerates the E7 online-vs-offline study at

@@ -38,6 +38,31 @@ echo "== second request, same trace (cache hit) =="
 curl -s -X POST "$BASE/schedule" --data-binary @"$REQ" |
 	(jq '{algorithm, cost, fingerprint, cache_hit}' 2>/dev/null || cat)
 
+echo "== incremental session: create, delta, reschedule =="
+# A session owns its own model + residence table; deltas patch them in
+# place and reschedules only re-run the DP over the dirtied suffix
+# (watch layers_recomputed shrink between the two schedules).
+SREQ="$REQ"
+if command -v jq >/dev/null; then
+	# Unbounded capacity keeps the session on the incremental DP path.
+	jq '{trace, algorithm, capacity: 0}' "$REQ" > /tmp/pimserve-session.json
+	SREQ=/tmp/pimserve-session.json
+fi
+CREATED="$(curl -s -X POST "$BASE/session" --data-binary @"$SREQ")"
+echo "$CREATED" | (jq '{session_id, num_windows, seq, fingerprint}' 2>/dev/null || cat)
+SID="$(echo "$CREATED" | sed -n 's/.*"session_id": "\([^"]*\)".*/\1/p')"
+echo "-- cold schedule (all layers) --"
+curl -s -X POST "$BASE/session/$SID/schedule" |
+	(jq '{cost, layers_recomputed, cached}' 2>/dev/null || cat)
+echo "-- delta: rewrite item 0's volumes in window 0 --"
+curl -s -X POST "$BASE/session/$SID/delta" \
+	--data '{"op":"edit_item","window":0,"data":0,"volumes":[3,0,0,0,0,0,0,0,0,0,0,0,0,0,0,1]}' |
+	(jq '{seq, fingerprint, num_windows}' 2>/dev/null || cat)
+echo "-- reschedule (only the edited item's suffix) --"
+curl -s -X POST "$BASE/session/$SID/schedule" |
+	(jq '{cost, layers_recomputed, cached}' 2>/dev/null || cat)
+curl -s -X DELETE "$BASE/session/$SID" -o /dev/null
+
 echo "== /stats: one table built, one cache hit =="
 curl -s "$BASE/stats"
 

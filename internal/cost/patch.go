@@ -1,0 +1,126 @@
+// Incremental maintenance of the cost model and its residence table
+// under trace deltas.
+//
+// Both derived structures are sums of per-(window, item) terms: the
+// reference-count matrix has one independent row per (window, item),
+// and the separable kernel prices each residence-table row R[w][d][*]
+// from that window's per-axis volume histograms alone. A delta that
+// touches one (window, item) pair therefore invalidates exactly one
+// counts row and one table row; a window append or removal adds or
+// drops one window's worth of rows and leaves every other cell
+// untouched. The Patch* methods below exploit that: they keep an
+// existing model's counts and a caller-held residence table in
+// lockstep with a mutated trace at per-delta cost O(touched refs +
+// X + Y + P) instead of the full O(W·D·(X+Y+P)) rebuild.
+//
+// The grid and the data-space size are fixed at model construction;
+// deltas may change reference events and the window list only. The
+// differential replay referee in internal/verify pins every patched
+// table cell-for-cell to a from-scratch rebuild.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// ResidenceRow prices one (window, item) residence-table row into out
+// (length NumProcs) with the separable per-axis kernel, from the
+// model's current counts. It is the single-row form of
+// BuildResidenceTable, used to refresh exactly the rows a trace delta
+// dirtied.
+func (m *Model) ResidenceRow(w int, d trace.DataID, out []int64) {
+	np := m.Grid.NumProcs()
+	if len(out) != np {
+		panic(fmt.Sprintf("cost: residence row has %d cells, array has %d processors", len(out), np))
+	}
+	nx, ny := m.Grid.Width(), m.Grid.Height()
+	colVol := make([]int64, nx)
+	rowVol := make([]int64, ny)
+	if !m.projectVolumes(m.counts[w][d], colVol, rowVol) {
+		for c := range out {
+			out[c] = 0
+		}
+		return
+	}
+	colCost := make([]int64, nx)
+	rowCost := make([]int64, ny)
+	axisCosts(colVol, colCost)
+	axisCosts(rowVol, rowCost)
+	for c := 0; c < np; c++ {
+		out[c] = colCost[m.colOf[c]] + rowCost[m.rowOf[c]]
+	}
+}
+
+// PatchEditItem re-derives counts[w][d] from the window's current
+// events and refreshes the matching residence-table row in place. The
+// window must already hold the post-delta events; rows of other items
+// and windows are untouched.
+func (m *Model) PatchEditItem(table ResidenceTable, w int, d trace.DataID, win *trace.Window) {
+	m.checkPatch(table, w)
+	row := m.counts[w][d]
+	for p := range row {
+		row[p] = 0
+	}
+	for _, r := range win.Refs {
+		if r.Data == d {
+			row[r.Proc] += r.Volume
+		}
+	}
+	m.ResidenceRow(w, d, table[w][d])
+}
+
+// PatchAppendWindow extends the model's counts and the table with one
+// new window holding win's events, and returns the extended table.
+// Only items the window actually references get a priced row; the rest
+// keep the exact all-zero row an unreferenced (window, item) pair has
+// in a full build.
+func (m *Model) PatchAppendWindow(table ResidenceTable, win *trace.Window) ResidenceTable {
+	if len(table) != len(m.counts) {
+		panic(fmt.Sprintf("cost: table covers %d windows, model has %d", len(table), len(m.counts)))
+	}
+	nd, np := m.NumData, m.Grid.NumProcs()
+
+	flat := make([]int, nd*np)
+	wc := make([][]int, nd)
+	for d := 0; d < nd; d++ {
+		wc[d], flat = flat[:np], flat[np:]
+	}
+	touched := make(map[trace.DataID]bool)
+	for _, r := range win.Refs {
+		wc[r.Data][r.Proc] += r.Volume
+		touched[r.Data] = true
+	}
+	m.counts = append(m.counts, wc)
+
+	tflat := make([]int64, nd*np)
+	trows := make([][]int64, nd)
+	for d := range trows {
+		trows[d], tflat = tflat[:np], tflat[np:]
+	}
+	table = append(table, trows)
+	w := len(table) - 1
+	for d := range touched {
+		m.ResidenceRow(w, d, table[w][d])
+	}
+	return table
+}
+
+// PatchRemoveWindow drops window w from the model's counts and the
+// table, shifting later windows down by one, and returns the shrunken
+// table.
+func (m *Model) PatchRemoveWindow(table ResidenceTable, w int) ResidenceTable {
+	m.checkPatch(table, w)
+	m.counts = append(m.counts[:w], m.counts[w+1:]...)
+	return append(table[:w], table[w+1:]...)
+}
+
+func (m *Model) checkPatch(table ResidenceTable, w int) {
+	if len(table) != len(m.counts) {
+		panic(fmt.Sprintf("cost: table covers %d windows, model has %d", len(table), len(m.counts)))
+	}
+	if w < 0 || w >= len(m.counts) {
+		panic(fmt.Sprintf("cost: patch window %d outside [0,%d)", w, len(m.counts)))
+	}
+}

@@ -1,0 +1,180 @@
+// Package delta implements incremental rescheduling over trace deltas.
+//
+// The offline pipeline prices a whole reference trace from scratch on
+// every request, but real PIM workloads evolve between scheduling
+// calls: a window is edited, a few reference strings are appended, a
+// stale window is dropped. Both separable kernels the pipeline runs on
+// are sums of per-axis, per-layer passes — the residence table has one
+// independent row per (window, item) and the GOMCDS layered DP is a
+// strictly causal forward recurrence — so a delta only dirties its own
+// rows and the DP layers at and after the touched window. A Session
+// owns a built {cost.Model, ResidenceTable}, patches exactly the
+// dirtied rows on Apply, and re-runs the per-item DP only over the
+// stale suffix on Schedule, turning a full O(W·D·(X+Y+P)) reprice into
+// O(touched refs + suffix layers).
+//
+// Correctness discipline: delta semantics are definitional (Materialize
+// is the single implementation both the session and any referee use),
+// and the differential replay referee in internal/verify drives seeded
+// delta sequences through a Session and a from-scratch recomputation in
+// lockstep, asserting bit-identical tables, costs, schedules and
+// fingerprints after every step.
+package delta
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// Op names one kind of trace mutation.
+type Op string
+
+const (
+	// OpAppendWindow appends one execution window with the given events.
+	OpAppendWindow Op = "append_window"
+	// OpEditItem replaces one item's reference volumes in one window.
+	OpEditItem Op = "edit_item"
+	// OpRemoveWindow drops one execution window.
+	OpRemoveWindow Op = "remove_window"
+)
+
+// Ref is one reference event of an appended window, mirroring trace.Ref
+// with the wire-format field names of the session API.
+type Ref struct {
+	Proc   int          `json:"proc"`
+	Data   trace.DataID `json:"data"`
+	Volume int          `json:"volume"`
+}
+
+// Delta is one trace mutation. Op selects the kind; only the fields
+// belonging to that kind are consulted:
+//
+//   - append_window: Refs (may be empty — an empty window is legal);
+//   - edit_item: Window, Data and Volumes, where Volumes[p] is the
+//     item's post-delta reference volume from processor p (0 = no
+//     reference, so an all-zero edit un-references the item);
+//   - remove_window: Window.
+//
+// The materialization of edit_item is deterministic: the window's
+// events for the edited item are deleted (all other events keep their
+// order), then one event per processor with a positive volume is
+// appended in ascending processor order. Determinism matters because
+// fingerprints hash event sequences — two replicas applying the same
+// delta sequence must converge on identical fingerprints.
+type Delta struct {
+	Op      Op           `json:"op"`
+	Window  int          `json:"window,omitempty"`
+	Data    trace.DataID `json:"data,omitempty"`
+	Volumes []int        `json:"volumes,omitempty"`
+	Refs    []Ref        `json:"refs,omitempty"`
+}
+
+// AppendWindow returns a delta appending one window with the given
+// events.
+func AppendWindow(refs []Ref) Delta {
+	return Delta{Op: OpAppendWindow, Refs: refs}
+}
+
+// EditItemVolumes returns a delta setting item d's per-processor
+// reference volumes in window w.
+func EditItemVolumes(w int, d trace.DataID, volumes []int) Delta {
+	return Delta{Op: OpEditItem, Window: w, Data: d, Volumes: volumes}
+}
+
+// RemoveWindow returns a delta dropping window w.
+func RemoveWindow(w int) Delta {
+	return Delta{Op: OpRemoveWindow, Window: w}
+}
+
+// String renders the delta compactly for logs and errors.
+func (d Delta) String() string {
+	switch d.Op {
+	case OpAppendWindow:
+		return fmt.Sprintf("append_window(%d refs)", len(d.Refs))
+	case OpEditItem:
+		return fmt.Sprintf("edit_item(window %d, data %d)", d.Window, d.Data)
+	case OpRemoveWindow:
+		return fmt.Sprintf("remove_window(%d)", d.Window)
+	}
+	return fmt.Sprintf("delta(%q)", string(d.Op))
+}
+
+// Validate checks the delta against a trace shape: the grid, data-space
+// size and current window count. It returns a descriptive error for
+// the first violation.
+func (d Delta) Validate(g grid.Grid, numData, numWindows int) error {
+	np := g.NumProcs()
+	switch d.Op {
+	case OpAppendWindow:
+		for i, r := range d.Refs {
+			switch {
+			case r.Proc < 0 || r.Proc >= np:
+				return fmt.Errorf("delta: append ref %d: processor %d outside %v array", i, r.Proc, g)
+			case r.Data < 0 || int(r.Data) >= numData:
+				return fmt.Errorf("delta: append ref %d: data %d outside [0,%d)", i, r.Data, numData)
+			case r.Volume <= 0:
+				return fmt.Errorf("delta: append ref %d: non-positive volume %d", i, r.Volume)
+			}
+		}
+		return nil
+	case OpEditItem:
+		if d.Window < 0 || d.Window >= numWindows {
+			return fmt.Errorf("delta: edit window %d outside [0,%d)", d.Window, numWindows)
+		}
+		if d.Data < 0 || int(d.Data) >= numData {
+			return fmt.Errorf("delta: edit data %d outside [0,%d)", d.Data, numData)
+		}
+		if len(d.Volumes) != np {
+			return fmt.Errorf("delta: edit carries %d volumes, %v array has %d processors", len(d.Volumes), g, np)
+		}
+		for p, v := range d.Volumes {
+			if v < 0 {
+				return fmt.Errorf("delta: edit volume %d for processor %d is negative", v, p)
+			}
+		}
+		return nil
+	case OpRemoveWindow:
+		if d.Window < 0 || d.Window >= numWindows {
+			return fmt.Errorf("delta: remove window %d outside [0,%d)", d.Window, numWindows)
+		}
+		return nil
+	}
+	return fmt.Errorf("delta: unknown op %q", string(d.Op))
+}
+
+// Materialize applies the delta to a plain trace, in place. It is the
+// definitional semantics of a delta: the incremental Session routes its
+// own trace mutation through this same function, so a referee that
+// replays a delta log onto a copy with Materialize reconstructs exactly
+// the trace the session holds.
+func Materialize(t *trace.Trace, d Delta) error {
+	if err := d.Validate(t.Grid, t.NumData, len(t.Windows)); err != nil {
+		return err
+	}
+	switch d.Op {
+	case OpAppendWindow:
+		w := t.AddWindow()
+		for _, r := range d.Refs {
+			w.AddVolume(r.Proc, r.Data, r.Volume)
+		}
+	case OpEditItem:
+		win := &t.Windows[d.Window]
+		kept := win.Refs[:0]
+		for _, r := range win.Refs {
+			if r.Data != d.Data {
+				kept = append(kept, r)
+			}
+		}
+		win.Refs = kept
+		for p, v := range d.Volumes {
+			if v > 0 {
+				win.AddVolume(p, d.Data, v)
+			}
+		}
+	case OpRemoveWindow:
+		t.Windows = append(t.Windows[:d.Window], t.Windows[d.Window+1:]...)
+	}
+	return nil
+}

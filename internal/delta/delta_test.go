@@ -1,0 +1,185 @@
+package delta
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+func TestValidateErrors(t *testing.T) {
+	g := grid.New(2, 2) // 4 processors
+	cases := []struct {
+		name string
+		d    Delta
+		want string // substring of the error, "" for valid
+	}{
+		{"append ok", AppendWindow([]Ref{{Proc: 3, Data: 1, Volume: 2}}), ""},
+		{"append empty window ok", AppendWindow(nil), ""},
+		{"append proc high", AppendWindow([]Ref{{Proc: 4, Data: 0, Volume: 1}}), "processor 4"},
+		{"append proc negative", AppendWindow([]Ref{{Proc: -1, Data: 0, Volume: 1}}), "processor -1"},
+		{"append data high", AppendWindow([]Ref{{Proc: 0, Data: 2, Volume: 1}}), "data 2"},
+		{"append zero volume", AppendWindow([]Ref{{Proc: 0, Data: 0, Volume: 0}}), "non-positive volume"},
+		{"edit ok", EditItemVolumes(1, 0, []int{0, 1, 0, 2}), ""},
+		{"edit all-zero ok", EditItemVolumes(0, 1, []int{0, 0, 0, 0}), ""},
+		{"edit window high", EditItemVolumes(3, 0, []int{0, 0, 0, 0}), "window 3"},
+		{"edit window negative", EditItemVolumes(-1, 0, []int{0, 0, 0, 0}), "window -1"},
+		{"edit data high", EditItemVolumes(0, 5, []int{0, 0, 0, 0}), "data 5"},
+		{"edit short volumes", EditItemVolumes(0, 0, []int{1, 2}), "2 volumes"},
+		{"edit negative volume", EditItemVolumes(0, 0, []int{0, -3, 0, 0}), "volume -3"},
+		{"remove ok", RemoveWindow(2), ""},
+		{"remove high", RemoveWindow(3), "window 3"},
+		{"remove negative", RemoveWindow(-2), "window -2"},
+		{"unknown op", Delta{Op: "compact"}, "unknown op"},
+	}
+	for _, tc := range cases {
+		err := tc.d.Validate(g, 2, 3)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMaterializeSemantics(t *testing.T) {
+	newTrace := func() *trace.Trace {
+		tr := trace.New(grid.New(2, 1), 2)
+		w := tr.AddWindow()
+		w.AddVolume(0, 0, 1)
+		w.AddVolume(1, 1, 2)
+		w.AddVolume(1, 0, 3)
+		tr.AddWindow().AddVolume(0, 1, 4)
+		return tr
+	}
+
+	t.Run("append", func(t *testing.T) {
+		tr := newTrace()
+		if err := Materialize(tr, AppendWindow([]Ref{{Proc: 1, Data: 0, Volume: 7}})); err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Windows) != 3 {
+			t.Fatalf("got %d windows, want 3", len(tr.Windows))
+		}
+		refs := tr.Windows[2].Refs
+		if len(refs) != 1 || refs[0] != (trace.Ref{Proc: 1, Data: 0, Volume: 7}) {
+			t.Fatalf("appended window holds %v", refs)
+		}
+	})
+
+	t.Run("edit preserves other items' order", func(t *testing.T) {
+		tr := newTrace()
+		if err := Materialize(tr, EditItemVolumes(0, 0, []int{5, 0})); err != nil {
+			t.Fatal(err)
+		}
+		want := []trace.Ref{{Proc: 1, Data: 1, Volume: 2}, {Proc: 0, Data: 0, Volume: 5}}
+		got := tr.Windows[0].Refs
+		if len(got) != len(want) {
+			t.Fatalf("edited window holds %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("edited window holds %v, want %v", got, want)
+			}
+		}
+	})
+
+	t.Run("edit appends in ascending processor order", func(t *testing.T) {
+		tr := newTrace()
+		if err := Materialize(tr, EditItemVolumes(1, 1, []int{9, 8})); err != nil {
+			t.Fatal(err)
+		}
+		got := tr.Windows[1].Refs
+		want := []trace.Ref{{Proc: 0, Data: 1, Volume: 9}, {Proc: 1, Data: 1, Volume: 8}}
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("edited window holds %v, want %v", got, want)
+		}
+	})
+
+	t.Run("all-zero edit un-references the item", func(t *testing.T) {
+		tr := newTrace()
+		if err := Materialize(tr, EditItemVolumes(0, 0, []int{0, 0})); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Windows[0].Refs {
+			if r.Data == 0 {
+				t.Fatalf("item 0 still referenced: %v", tr.Windows[0].Refs)
+			}
+		}
+	})
+
+	t.Run("remove splices", func(t *testing.T) {
+		tr := newTrace()
+		if err := Materialize(tr, RemoveWindow(0)); err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Windows) != 1 || len(tr.Windows[0].Refs) != 1 || tr.Windows[0].Refs[0].Volume != 4 {
+			t.Fatalf("remaining windows: %+v", tr.Windows)
+		}
+	})
+
+	t.Run("invalid delta leaves trace untouched", func(t *testing.T) {
+		tr := newTrace()
+		before := tr.Fingerprint()
+		if err := Materialize(tr, RemoveWindow(5)); err == nil {
+			t.Fatal("expected error")
+		}
+		if tr.Fingerprint() != before {
+			t.Fatal("failed Materialize mutated the trace")
+		}
+	})
+}
+
+// TestMaterializeDeterministic applies the same delta to two equal
+// traces and demands identical fingerprints — the property the chained
+// session fingerprint relies on.
+func TestMaterializeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := grid.New(3, 2)
+	np := g.NumProcs()
+	tr := trace.New(g, 3)
+	for w := 0; w < 4; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < 5; r++ {
+			win.AddVolume(rng.Intn(np), trace.DataID(rng.Intn(3)), 1+rng.Intn(4))
+		}
+	}
+	for step := 0; step < 20; step++ {
+		a, b := tr.Clone(), tr.Clone()
+		vols := make([]int, np)
+		for p := range vols {
+			vols[p] = rng.Intn(3)
+		}
+		d := EditItemVolumes(rng.Intn(len(tr.Windows)), trace.DataID(rng.Intn(3)), vols)
+		if err := Materialize(a, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := Materialize(b, d); err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("step %d: same delta on equal traces diverged", step)
+		}
+		tr = a
+	}
+}
+
+func TestDeltaString(t *testing.T) {
+	cases := map[string]Delta{
+		"append_window(2 refs)":       AppendWindow(make([]Ref, 2)),
+		"edit_item(window 3, data 1)": EditItemVolumes(3, 1, nil),
+		"remove_window(4)":            RemoveWindow(4),
+		`delta("gc")`:                 {Op: "gc"},
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

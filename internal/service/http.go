@@ -6,22 +6,35 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"repro/internal/delta"
 )
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /schedule[?verify=true]  run a scheduler over an inline trace
-//	GET  /healthz                 liveness (503 once shutdown began)
-//	GET  /stats                   counter snapshot as JSON
-//	GET  /metrics                 Prometheus text exposition
+//	POST   /schedule[?verify=true]     run a scheduler over an inline trace
+//	POST   /session                    open an incremental session
+//	GET    /session/{id}               describe a session
+//	POST   /session/{id}/delta         apply one trace delta
+//	POST   /session/{id}/schedule      schedule the session's current trace
+//	DELETE /session/{id}               close a session
+//	GET    /healthz                    liveness (503 once shutdown began)
+//	GET    /stats                      counter snapshot as JSON
+//	GET    /metrics                    Prometheus text exposition
 //
 // Error responses are JSON objects {"error": "..."} with the status
-// conveying the class: 400 malformed request, 404 unknown path, 405 bad
-// method, 413 oversized body, 429 shed load (with Retry-After), 503
-// shutting down, 504 deadline expired, 500 internal inconsistency.
+// conveying the class: 400 malformed request, 404 unknown path or
+// session, 405 bad method, 413 oversized body, 429 shed load (with
+// Retry-After), 503 shutting down, 504 deadline expired, 500 internal
+// inconsistency.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /session", s.handleSessionCreate)
+	mux.HandleFunc("GET /session/{id}", s.handleSessionInfo)
+	mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /session/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("POST /session/{id}/schedule", s.handleSessionSchedule)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
@@ -34,17 +47,8 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
 	var req Request
-	if err := dec.Decode(&req); err != nil {
-		status := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		httpError(w, status, "decode request: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if v := r.URL.Query().Get("verify"); v == "true" || v == "1" {
@@ -75,6 +79,94 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	sp := s.stages.Start("encode")
 	writeJSON(w, http.StatusOK, resp)
 	sp.End()
+}
+
+// decodeBody decodes a size-bounded JSON request body into v, writing
+// the error response itself on failure.
+func (s *Service) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "decode request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// sessionError maps the session API's error classes onto statuses.
+func (s *Service) sessionError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var notFound *ErrSessionNotFound
+	switch {
+	case errors.As(err, &notFound):
+		status = http.StatusNotFound
+	case isRequestError(err):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	httpError(w, status, err.Error())
+}
+
+func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.CreateSession(req)
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.SessionInfo(r.PathValue("id"))
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.DeleteSession(r.PathValue("id")); err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	var d delta.Delta
+	if !s.decodeBody(w, r, &d) {
+		return
+	}
+	resp, err := s.ApplySessionDelta(r.PathValue("id"), d)
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSessionSchedule(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.ScheduleSession(r.PathValue("id"))
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

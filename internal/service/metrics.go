@@ -58,6 +58,13 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		cacheCounter(func(_, _, _, ev uint64) uint64 { return ev }))
 	reg.GaugeFunc("pim_cache_entries", "Residence-table cache entries resident.",
 		func() float64 { _, _, _, _, n := s.cache.counters(); return float64(n) })
+
+	reg.CounterFunc("pim_sessions_created_total", "Incremental scheduling sessions opened.", s.sessionsCreated.Load)
+	reg.CounterFunc("pim_deltas_applied_total", "Trace deltas applied across all sessions.", s.deltasApplied.Load)
+	reg.GaugeFunc("pim_sessions_active", "Incremental scheduling sessions currently live.",
+		func() float64 { return float64(s.sessionCount()) })
+	reg.GaugeFunc("pim_delta_layers_recomputed", "DP layers relaxed by the most recent session schedule computation.",
+		func() float64 { return float64(s.deltaLayersRecomputed.Load()) })
 	return m
 }
 

@@ -89,6 +89,12 @@ type Config struct {
 	// MaxBodyBytes bounds the request body and the inline trace text;
 	// <= 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+
+	// MaxSessions bounds concurrently live incremental sessions (each
+	// holds a residence table and per-item DP state in memory); <= 0
+	// means DefaultMaxSessions. Excess creations are shed with
+	// ErrOverloaded.
+	MaxSessions int
 }
 
 func (c Config) cacheSize() int {
@@ -154,6 +160,9 @@ type Stats struct {
 	CacheSharedBuild uint64 `json:"cache_shared_builds"`
 	CacheEvictions   uint64 `json:"cache_evictions"`
 	CacheEntries     int    `json:"cache_entries"`
+	SessionsCreated  uint64 `json:"sessions_created"`
+	SessionsActive   int    `json:"sessions_active"`
+	DeltasApplied    uint64 `json:"deltas_applied"`
 }
 
 // Service is a concurrent scheduling service. Create one with New; it
@@ -167,6 +176,11 @@ type Service struct {
 	closed bool
 	wg     sync.WaitGroup // all request work, incl. abandoned background runs
 
+	// sessions are the live incremental scheduling sessions, keyed by
+	// service-assigned ID; sessionSeq mints those IDs.
+	sessions   map[string]*sessionEntry
+	sessionSeq uint64
+
 	requests         atomic.Uint64
 	completed        atomic.Uint64
 	rejectedOverload atomic.Uint64
@@ -176,6 +190,13 @@ type Service struct {
 	internalErrors   atomic.Uint64
 	inflight         atomic.Int64
 	tablesBuilt      atomic.Uint64
+	sessionsCreated  atomic.Uint64
+	deltasApplied    atomic.Uint64
+
+	// deltaLayersRecomputed remembers the layer count of the most recent
+	// session schedule computation, exposed as a gauge: near zero under
+	// delta traffic, spiking to items x windows on cold or fallback runs.
+	deltaLayersRecomputed atomic.Int64
 
 	// ewmaNanos is the decaying average of completed-request service
 	// times, backing the Retry-After header on load-shed responses.
@@ -277,6 +298,9 @@ func (s *Service) Stats() Stats {
 		Errors:           s.internalErrors.Load(),
 		Inflight:         s.inflight.Load(),
 		TablesBuilt:      s.tablesBuilt.Load(),
+		SessionsCreated:  s.sessionsCreated.Load(),
+		SessionsActive:   s.sessionCount(),
+		DeltasApplied:    s.deltasApplied.Load(),
 	}
 	st.CacheHits, st.CacheMisses, st.CacheSharedBuild, st.CacheEvictions, st.CacheEntries = s.cache.counters()
 	return st

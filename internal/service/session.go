@@ -1,0 +1,237 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// DefaultMaxSessions bounds concurrently live incremental sessions when
+// Config.MaxSessions is zero.
+const DefaultMaxSessions = 64
+
+// ErrSessionNotFound is returned for operations on an unknown or
+// already-deleted session; the HTTP layer maps it to 404.
+type ErrSessionNotFound struct{ ID string }
+
+func (e *ErrSessionNotFound) Error() string { return "service: no session " + e.ID }
+
+// CreateSessionRequest opens an incremental scheduling session over a
+// starting trace (which may be empty apart from its header). The
+// algorithm and capacity are fixed for the session's lifetime.
+type CreateSessionRequest struct {
+	Trace     string `json:"trace"`
+	Algorithm string `json:"algorithm"`
+	Capacity  int    `json:"capacity"`
+}
+
+// SessionInfo describes one live session.
+type SessionInfo struct {
+	SessionID   string `json:"session_id"`
+	Algorithm   string `json:"algorithm"`
+	Grid        string `json:"grid"`
+	NumData     int    `json:"num_data"`
+	NumWindows  int    `json:"num_windows"`
+	Capacity    int    `json:"capacity"`
+	Seq         uint64 `json:"seq"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// DeltaResponse reports one applied delta: its position in the
+// session's delta log and the chained fingerprint, which equals the
+// canonical fingerprint of the materialized post-delta trace (so it
+// remains a valid key for the table cache and any external store).
+type DeltaResponse struct {
+	SessionID   string `json:"session_id"`
+	Seq         uint64 `json:"seq"`
+	Fingerprint string `json:"fingerprint"`
+	NumWindows  int    `json:"num_windows"`
+}
+
+// SessionScheduleResponse is a schedule of a session's current trace.
+// LayersRecomputed counts the DP layers the call actually relaxed —
+// zero for a cache hit, the stale suffix on the incremental path, or
+// items x windows when the configuration forces a full scheduler rerun.
+type SessionScheduleResponse struct {
+	SessionID        string   `json:"session_id"`
+	Algorithm        string   `json:"algorithm"`
+	Seq              uint64   `json:"seq"`
+	NumWindows       int      `json:"num_windows"`
+	Centers          [][]int  `json:"centers"`
+	Cost             CostJSON `json:"cost"`
+	Fingerprint      string   `json:"fingerprint"`
+	LayersRecomputed int      `json:"layers_recomputed"`
+	Cached           bool     `json:"cached"`
+	ElapsedUS        int64    `json:"elapsed_us"`
+}
+
+// sessionEntry pairs a session with its service-assigned ID.
+type sessionEntry struct {
+	id   string
+	sess *delta.Session
+	grid string
+}
+
+func (c Config) maxSessions() int {
+	if c.MaxSessions <= 0 {
+		return DefaultMaxSessions
+	}
+	return c.MaxSessions
+}
+
+// CreateSession decodes the starting trace, builds a session (its own
+// model and residence table, counted in tables_built exactly once — no
+// table work ever runs again for this session's deltas), and registers
+// it under a fresh ID.
+func (s *Service) CreateSession(req CreateSessionRequest) (*SessionInfo, error) {
+	scheduler, err := sched.ByName(req.Algorithm)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	if req.Capacity < 0 {
+		return nil, badRequest("negative capacity %d", req.Capacity)
+	}
+	if int64(len(req.Trace)) > s.cfg.maxBodyBytes() {
+		return nil, badRequest("trace text %d bytes exceeds limit %d", len(req.Trace), s.cfg.maxBodyBytes())
+	}
+	tr, err := trace.Decode(strings.NewReader(req.Trace))
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.sessions) >= s.cfg.maxSessions() {
+		return nil, fmt.Errorf("%w: %d sessions live", ErrOverloaded, len(s.sessions))
+	}
+	sess, err := delta.NewSession(tr, scheduler, req.Capacity, delta.Options{
+		Stages: s.stages,
+		OnLayersRecomputed: func(layers int) {
+			s.deltaLayersRecomputed.Store(int64(layers))
+		},
+	})
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	s.tablesBuilt.Add(1) // the session's private table, built in NewSession
+	s.sessionSeq++
+	id := fmt.Sprintf("s%06d", s.sessionSeq)
+	if s.sessions == nil {
+		s.sessions = make(map[string]*sessionEntry)
+	}
+	s.sessions[id] = &sessionEntry{id: id, sess: sess, grid: tr.Grid.String()}
+	s.sessionsCreated.Add(1)
+	return s.sessionInfoLocked(s.sessions[id]), nil
+}
+
+func (s *Service) sessionInfoLocked(e *sessionEntry) *SessionInfo {
+	return &SessionInfo{
+		SessionID:   e.id,
+		Algorithm:   e.sess.Algorithm(),
+		Grid:        e.grid,
+		NumData:     e.sess.NumData(),
+		NumWindows:  e.sess.NumWindows(),
+		Capacity:    e.sess.Capacity(),
+		Seq:         e.sess.Seq(),
+		Fingerprint: e.sess.Fingerprint().String(),
+	}
+}
+
+func (s *Service) lookupSession(id string) (*sessionEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e, ok := s.sessions[id]
+	if !ok {
+		return nil, &ErrSessionNotFound{ID: id}
+	}
+	return e, nil
+}
+
+// SessionInfo returns the current description of a session.
+func (s *Service) SessionInfo(id string) (*SessionInfo, error) {
+	e, err := s.lookupSession(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessionInfoLocked(e), nil
+}
+
+// ApplySessionDelta applies one delta to a session. Deltas on one
+// session are serialized in arrival order; the returned sequence number
+// is the delta's position in that order.
+func (s *Service) ApplySessionDelta(id string, d delta.Delta) (*DeltaResponse, error) {
+	e, err := s.lookupSession(id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.sess.Apply(d)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	s.deltasApplied.Add(1)
+	return &DeltaResponse{
+		SessionID:   id,
+		Seq:         res.Seq,
+		Fingerprint: res.Fingerprint.String(),
+		NumWindows:  res.NumWindows,
+	}, nil
+}
+
+// ScheduleSession computes (or serves from the session's cache) the
+// schedule of a session's current trace.
+func (s *Service) ScheduleSession(id string) (*SessionScheduleResponse, error) {
+	e, err := s.lookupSession(id)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := e.sess.Schedule()
+	if err != nil {
+		return nil, &RequestError{Err: err} // infeasible capacity etc.
+	}
+	return &SessionScheduleResponse{
+		SessionID:        id,
+		Algorithm:        e.sess.Algorithm(),
+		Seq:              e.sess.Seq(),
+		NumWindows:       len(res.Schedule.Centers),
+		Centers:          res.Schedule.Centers,
+		Cost:             CostJSON{Residence: res.Cost.Residence, Move: res.Cost.Move, Total: res.Cost.Total()},
+		Fingerprint:      e.sess.Fingerprint().String(),
+		LayersRecomputed: res.LayersRecomputed,
+		Cached:           res.Cached,
+		ElapsedUS:        time.Since(start).Microseconds(),
+	}, nil
+}
+
+// DeleteSession removes a session, freeing its table and DP state.
+func (s *Service) DeleteSession(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.sessions[id]; !ok {
+		return &ErrSessionNotFound{ID: id}
+	}
+	delete(s.sessions, id)
+	return nil
+}
+
+// sessionCount returns the number of live sessions.
+func (s *Service) sessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -1,0 +1,356 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+// postJSON posts v and decodes the JSON response into out (when
+// non-nil), returning the status code.
+func sessionPost(t testing.TB, client *http.Client, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s response %q: %v", url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPSessionLifecycle walks the full session surface: create,
+// inspect, apply deltas, schedule (twice, for the cache), delete, and
+// then a 404 on the deleted ID. Every schedule is pinned against a
+// serial replay of the delta log through /schedule semantics.
+func TestHTTPSessionLifecycle(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	text := traceText(t, "lu", 6, grid.Square(4))
+
+	var info SessionInfo
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session",
+		CreateSessionRequest{Trace: text, Algorithm: "gomcds"}, &info); code != http.StatusCreated {
+		t.Fatalf("create session: status %d", code)
+	}
+	if info.SessionID == "" || info.NumWindows == 0 || info.Seq != 0 {
+		t.Fatalf("create session returned %+v", info)
+	}
+	tr, err := trace.Decode(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fingerprint != tr.Fingerprint().String() {
+		t.Fatalf("session fingerprint %s != trace fingerprint %s", info.Fingerprint, tr.Fingerprint())
+	}
+
+	base := ts.URL + "/session/" + info.SessionID
+	deltas := []delta.Delta{
+		delta.EditItemVolumes(0, 0, append([]int{7}, make([]int, 15)...)),
+		delta.AppendWindow([]delta.Ref{{Proc: 5, Data: 1, Volume: 3}}),
+		delta.RemoveWindow(1),
+	}
+	for i, d := range deltas {
+		var dr DeltaResponse
+		if code := sessionPost(t, ts.Client(), base+"/delta", d, &dr); code != http.StatusOK {
+			t.Fatalf("delta %d: status %d", i, code)
+		}
+		if dr.Seq != uint64(i+1) {
+			t.Fatalf("delta %d: seq %d", i, dr.Seq)
+		}
+		if err := delta.Materialize(tr, d); err != nil {
+			t.Fatal(err)
+		}
+		if dr.Fingerprint != tr.Fingerprint().String() {
+			t.Fatalf("delta %d: session fingerprint %s != materialized %s", i, dr.Fingerprint, tr.Fingerprint())
+		}
+	}
+
+	var sr SessionScheduleResponse
+	if code := sessionPost(t, ts.Client(), base+"/schedule", struct{}{}, &sr); code != http.StatusOK {
+		t.Fatalf("schedule: status %d", code)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	wantCenters, wantCost := directRun(t, buf.String(), "gomcds", 0)
+	if !reflect2Equal(sr.Centers, wantCenters) || sr.Cost != wantCost {
+		t.Fatalf("session schedule (%v, %+v) != serial replay (%v, %+v)", sr.Centers, sr.Cost, wantCenters, wantCost)
+	}
+	if sr.Cached || sr.LayersRecomputed == 0 {
+		t.Fatalf("first schedule: cached=%v layers=%d", sr.Cached, sr.LayersRecomputed)
+	}
+	var again SessionScheduleResponse
+	sessionPost(t, ts.Client(), base+"/schedule", struct{}{}, &again)
+	if !again.Cached || again.LayersRecomputed != 0 || again.Cost != sr.Cost {
+		t.Fatalf("repeat schedule: %+v", again)
+	}
+
+	// GET reflects the applied deltas.
+	resp, err := ts.Client().Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SessionInfo
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.Seq != 3 || got.NumWindows != tr.NumWindows() || got.Fingerprint != tr.Fingerprint().String() {
+		t.Fatalf("session info after deltas: %+v", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	if code := sessionPost(t, ts.Client(), base+"/schedule", struct{}{}, nil); code != http.StatusNotFound {
+		t.Fatalf("schedule on deleted session: status %d, want 404", code)
+	}
+
+	st := svc.Stats()
+	if st.SessionsCreated != 1 || st.SessionsActive != 0 || st.DeltasApplied != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func reflect2Equal(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestHTTPSessionConcurrentClients hammers ONE session with 32
+// concurrent clients, each applying deltas and scheduling. The service
+// serializes deltas and stamps each with its sequence number; after the
+// storm the test replays the observed sequence order serially and
+// demands the session's final {fingerprint, schedule, cost} equal the
+// replay's — linearizability, checked end to end. tables_built must not
+// grow with deltas: one build for the session, ever.
+func TestHTTPSessionConcurrentClients(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	g := grid.New(4, 2)
+	np := g.NumProcs()
+	text := traceText(t, "stencil", 8, g)
+
+	var info SessionInfo
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session",
+		CreateSessionRequest{Trace: text, Algorithm: "gomcds"}, &info); code != http.StatusCreated {
+		t.Fatalf("create session: status %d", code)
+	}
+	base := ts.URL + "/session/" + info.SessionID
+	builtBefore := svc.Stats().TablesBuilt
+
+	const clients = 32
+	const deltasPerClient = 4
+	type applied struct {
+		seq uint64
+		d   delta.Delta
+	}
+	var mu sync.Mutex
+	var log []applied
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for k := 0; k < deltasPerClient; k++ {
+				// Window indices must stay valid no matter how deltas
+				// interleave, so clients only append and edit window 0
+				// (8 starting windows are never removed).
+				var d delta.Delta
+				if rng.Intn(2) == 0 {
+					refs := make([]delta.Ref, 1+rng.Intn(3))
+					for i := range refs {
+						refs[i] = delta.Ref{Proc: rng.Intn(np), Data: trace.DataID(rng.Intn(info.NumData)), Volume: 1 + rng.Intn(4)}
+					}
+					d = delta.AppendWindow(refs)
+				} else {
+					vols := make([]int, np)
+					for p := range vols {
+						vols[p] = rng.Intn(3)
+					}
+					d = delta.EditItemVolumes(0, trace.DataID(rng.Intn(info.NumData)), vols)
+				}
+				var dr DeltaResponse
+				if code := sessionPost(t, ts.Client(), base+"/delta", d, &dr); code != http.StatusOK {
+					t.Errorf("client %d delta %d: status %d", c, k, code)
+					return
+				}
+				mu.Lock()
+				log = append(log, applied{seq: dr.Seq, d: d})
+				mu.Unlock()
+				if code := sessionPost(t, ts.Client(), base+"/schedule", struct{}{}, nil); code != http.StatusOK {
+					t.Errorf("client %d schedule %d: status %d", c, k, code)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Serial replay in observed sequence order is the linearization the
+	// session claims; pin the final state to it.
+	sort.Slice(log, func(i, j int) bool { return log[i].seq < log[j].seq })
+	if len(log) != clients*deltasPerClient {
+		t.Fatalf("observed %d deltas, want %d", len(log), clients*deltasPerClient)
+	}
+	for i, a := range log {
+		if a.seq != uint64(i+1) {
+			t.Fatalf("sequence numbers not dense: position %d holds seq %d", i, a.seq)
+		}
+	}
+	tr, err := trace.Decode(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range log {
+		if err := delta.Materialize(tr, a.d); err != nil {
+			t.Fatalf("replay seq %d (%v): %v", a.seq, a.d, err)
+		}
+	}
+
+	var final SessionScheduleResponse
+	if code := sessionPost(t, ts.Client(), base+"/schedule", struct{}{}, &final); code != http.StatusOK {
+		t.Fatalf("final schedule: status %d", code)
+	}
+	if final.Fingerprint != tr.Fingerprint().String() {
+		t.Fatalf("final fingerprint %s != serial replay %s", final.Fingerprint, tr.Fingerprint())
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	wantCenters, wantCost := directRun(t, buf.String(), "gomcds", 0)
+	if !reflect2Equal(final.Centers, wantCenters) || final.Cost != wantCost {
+		t.Fatalf("final schedule diverges from serial replay:\n got (%v, %+v)\nwant (%v, %+v)",
+			final.Centers, final.Cost, wantCenters, wantCost)
+	}
+
+	st := svc.Stats()
+	if st.TablesBuilt != builtBefore {
+		t.Fatalf("tables_built grew from %d to %d under delta traffic", builtBefore, st.TablesBuilt)
+	}
+	if st.DeltasApplied != uint64(clients*deltasPerClient) {
+		t.Fatalf("deltas_applied = %d, want %d", st.DeltasApplied, clients*deltasPerClient)
+	}
+}
+
+// TestSessionLimitsAndErrors covers the shed/validation surface of the
+// session API.
+func TestSessionLimitsAndErrors(t *testing.T) {
+	svc := New(Config{MaxSessions: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	text := traceText(t, "lu", 4, grid.Square(2))
+
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session",
+		CreateSessionRequest{Trace: "not a trace", Algorithm: "gomcds"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad trace: status %d", code)
+	}
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session",
+		CreateSessionRequest{Trace: text, Algorithm: "quantum"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: status %d", code)
+	}
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session",
+		CreateSessionRequest{Trace: text, Algorithm: "gomcds", Capacity: -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative capacity: status %d", code)
+	}
+
+	var infos [2]SessionInfo
+	for i := range infos {
+		if code := sessionPost(t, ts.Client(), ts.URL+"/session",
+			CreateSessionRequest{Trace: text, Algorithm: "gomcds"}, &infos[i]); code != http.StatusCreated {
+			t.Fatalf("session %d: status %d", i, code)
+		}
+	}
+	if infos[0].SessionID == infos[1].SessionID {
+		t.Fatal("duplicate session IDs")
+	}
+	resp, err := ts.Client().Post(ts.URL+"/session", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"trace":%q,"algorithm":"gomcds"}`, text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over session limit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed session creation lacks Retry-After")
+	}
+
+	// Unknown session IDs 404 on every per-session route.
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session/nope/delta", delta.RemoveWindow(0), nil); code != http.StatusNotFound {
+		t.Fatalf("delta on unknown session: status %d", code)
+	}
+	// Invalid delta on a live session is a 400 and leaves it usable.
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session/"+infos[0].SessionID+"/delta",
+		delta.RemoveWindow(99), nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid delta: status %d", code)
+	}
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session/"+infos[0].SessionID+"/schedule", struct{}{}, nil); code != http.StatusOK {
+		t.Fatalf("schedule after rejected delta: status %d", code)
+	}
+
+	// Deleting frees a slot for a new session.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+infos[1].SessionID, nil)
+	dresp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if code := sessionPost(t, ts.Client(), ts.URL+"/session",
+		CreateSessionRequest{Trace: text, Algorithm: "gomcds"}, nil); code != http.StatusCreated {
+		t.Fatalf("create after delete: status %d", code)
+	}
+}

@@ -4,12 +4,17 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
+
+	"repro/internal/grid"
 )
 
 // fingerprintVersion is folded into every fingerprint so that a change
 // to the canonical encoding below invalidates all previously computed
-// fingerprints instead of silently colliding with them.
-const fingerprintVersion = "pimtrace-fp-v1"
+// fingerprints instead of silently colliding with them. v2 introduced
+// the two-level (per-window digest) encoding that makes fingerprints
+// incrementally maintainable under trace deltas.
+const fingerprintVersion = "pimtrace-fp-v2"
 
 // Fingerprint is a stable content hash of a trace: two traces have the
 // same fingerprint exactly when they have the same grid dimensions,
@@ -31,22 +36,106 @@ func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 
 // Fingerprint computes the canonical content hash of the trace.
 //
-// The canonical encoding hashed is:
+// The canonical encoding hashed is two-level:
 //
 //	version string
 //	width, height, numData, numWindows   (fixed 8-byte little endian)
-//	for every window: numRefs, then (proc, data, volume) per event
+//	one SHA-256 digest per window, in window order
 //
-// Every field has a fixed width and the per-window ref count is
-// included, so the encoding is injective: distinct traces produce
-// distinct byte streams (and hence, with overwhelming probability,
-// distinct fingerprints), including traces that differ only in where a
-// window boundary falls.
+// where each window digest covers the window's event count followed by
+// its (proc, data, volume) triples, all fixed 8-byte little endian.
+// Every field has a fixed width and both levels carry explicit counts,
+// so the encoding is injective: distinct traces produce distinct byte
+// streams (and hence, with overwhelming probability, distinct
+// fingerprints), including traces that differ only in where a window
+// boundary falls.
+//
+// The two-level structure exists for incremental maintenance: a delta
+// that touches one window only re-hashes that window's events, then
+// recombines the per-window digests — see Fingerprinter. This method is
+// the one-shot form: it is definitionally identical to building a
+// Fingerprinter over all windows and asking it to Sum.
 func (t *Trace) Fingerprint() Fingerprint {
+	f := NewFingerprinter(t.Grid, t.NumData)
+	for i := range t.Windows {
+		f.AppendWindow(&t.Windows[i])
+	}
+	return f.Fingerprint()
+}
+
+// Fingerprinter maintains a trace fingerprint incrementally: it holds
+// the header fields and one digest per window, so a mutation that
+// touches one window costs one window re-hash plus an O(numWindows)
+// digest recombination instead of a full-trace re-encode. An
+// incremental session updates its Fingerprinter alongside every applied
+// delta; the resulting Fingerprint always equals the Fingerprint of the
+// materialized trace, so fingerprint-keyed caches stay canonical.
+//
+// A Fingerprinter is not safe for concurrent use.
+type Fingerprinter struct {
+	width, height, numData int
+	windows                [][sha256.Size]byte
+}
+
+// NewFingerprinter returns a Fingerprinter over an empty trace with the
+// given grid and data space.
+func NewFingerprinter(g grid.Grid, numData int) *Fingerprinter {
+	return &Fingerprinter{width: g.Width(), height: g.Height(), numData: numData}
+}
+
+// NumWindows returns the number of windows currently hashed.
+func (f *Fingerprinter) NumWindows() int { return len(f.windows) }
+
+// AppendWindow hashes one more window onto the end of the trace.
+func (f *Fingerprinter) AppendWindow(w *Window) {
+	f.windows = append(f.windows, hashWindow(w))
+}
+
+// SetWindow re-hashes window i after its events changed. It panics on
+// an out-of-range index, a programming error in delta bookkeeping.
+func (f *Fingerprinter) SetWindow(i int, w *Window) {
+	f.checkIndex(i)
+	f.windows[i] = hashWindow(w)
+}
+
+// RemoveWindow drops window i; later windows shift down by one. It
+// panics on an out-of-range index.
+func (f *Fingerprinter) RemoveWindow(i int) {
+	f.checkIndex(i)
+	f.windows = append(f.windows[:i], f.windows[i+1:]...)
+}
+
+func (f *Fingerprinter) checkIndex(i int) {
+	if i < 0 || i >= len(f.windows) {
+		panic(fmt.Sprintf("trace: fingerprinter window %d outside [0,%d)", i, len(f.windows)))
+	}
+}
+
+// Fingerprint combines the header and the per-window digests into the
+// trace fingerprint, in O(numWindows).
+func (f *Fingerprinter) Fingerprint() Fingerprint {
 	h := sha256.New()
 	h.Write([]byte(fingerprintVersion))
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(f.width))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(f.height))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(f.numData))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(len(f.windows)))
+	h.Write(buf[:])
+	for i := range f.windows {
+		h.Write(f.windows[i][:])
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
 
-	// Batch fixed-width fields through a scratch buffer so large traces
+// hashWindow digests one window's canonical encoding: the event count
+// followed by the (proc, data, volume) triples in event order.
+func hashWindow(w *Window) [sha256.Size]byte {
+	h := sha256.New()
+
+	// Batch fixed-width fields through a scratch buffer so large windows
 	// do not pay one hasher call per field.
 	buf := make([]byte, 0, 4096)
 	flush := func() {
@@ -60,22 +149,15 @@ func (t *Trace) Fingerprint() Fingerprint {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 	}
 
-	put(int64(t.Grid.Width()))
-	put(int64(t.Grid.Height()))
-	put(int64(t.NumData))
-	put(int64(len(t.Windows)))
-	for wi := range t.Windows {
-		refs := t.Windows[wi].Refs
-		put(int64(len(refs)))
-		for _, r := range refs {
-			put(int64(r.Proc))
-			put(int64(r.Data))
-			put(int64(r.Volume))
-		}
+	put(int64(len(w.Refs)))
+	for _, r := range w.Refs {
+		put(int64(r.Proc))
+		put(int64(r.Data))
+		put(int64(r.Volume))
 	}
 	flush()
 
-	var f Fingerprint
-	h.Sum(f[:0])
-	return f
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
 }

@@ -98,6 +98,53 @@ func TestFingerprintString(t *testing.T) {
 	}
 }
 
+// TestFingerprinterIncrementalMatchesFull is the staleness regression
+// the delta machinery depends on: a Fingerprinter maintained through a
+// random sequence of window mutations (append, in-place edit, remove)
+// must always equal the from-scratch fingerprint of the materialized
+// trace. Before the two-level v2 encoding this was impossible — editing
+// a middle window invalidated the whole SHA stream — so incremental
+// sessions would have served stale cache keys.
+func TestFingerprinterIncrementalMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 50; i++ {
+		tr := randomTrace(rng)
+		fp := NewFingerprinter(tr.Grid, tr.NumData)
+		for w := range tr.Windows {
+			fp.AppendWindow(&tr.Windows[w])
+		}
+		if got, want := fp.Fingerprint(), tr.Fingerprint(); got != want {
+			t.Fatalf("instance %d: initial fingerprinter %v != full %v", i, got, want)
+		}
+		np := tr.Grid.NumProcs()
+		for step := 0; step < 12; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0 || len(tr.Windows) == 0: // append
+				w := tr.AddWindow()
+				for r := rng.Intn(4); r > 0; r-- {
+					w.AddVolume(rng.Intn(np), DataID(rng.Intn(tr.NumData)), 1+rng.Intn(3))
+				}
+				fp.AppendWindow(w)
+			case op == 1: // edit in place
+				wi := rng.Intn(len(tr.Windows))
+				win := &tr.Windows[wi]
+				win.Refs = win.Refs[:0]
+				for r := rng.Intn(4); r > 0; r-- {
+					win.AddVolume(rng.Intn(np), DataID(rng.Intn(tr.NumData)), 1+rng.Intn(3))
+				}
+				fp.SetWindow(wi, win)
+			default: // remove
+				wi := rng.Intn(len(tr.Windows))
+				tr.Windows = append(tr.Windows[:wi], tr.Windows[wi+1:]...)
+				fp.RemoveWindow(wi)
+			}
+			if got, want := fp.Fingerprint(), tr.Fingerprint(); got != want {
+				t.Fatalf("instance %d step %d: incremental fingerprint %v != materialized %v", i, step, got, want)
+			}
+		}
+	}
+}
+
 // FuzzFingerprint checks that fingerprinting never panics on anything
 // the decoder accepts, that equal traces produce equal fingerprints
 // (via an encode/decode round trip), and that a structural mutation

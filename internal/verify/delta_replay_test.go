@@ -1,0 +1,346 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/delta"
+	"repro/internal/grid"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// randomDelta draws one random mutation valid against the current
+// trace shape. Roughly one edit in six is a deliberate no-op (it
+// rewrites the item's existing per-processor volumes), so the referee
+// also pins the do-nothing path.
+func randomDelta(rng *rand.Rand, tr *trace.Trace) delta.Delta {
+	np := tr.Grid.NumProcs()
+	switch op := rng.Intn(6); {
+	case op <= 1 || len(tr.Windows) == 0: // append
+		refs := make([]delta.Ref, rng.Intn(6))
+		for i := range refs {
+			refs[i] = delta.Ref{Proc: rng.Intn(np), Data: trace.DataID(rng.Intn(tr.NumData)), Volume: 1 + rng.Intn(4)}
+		}
+		return delta.AppendWindow(refs)
+	case op <= 3: // random edit
+		vols := make([]int, np)
+		for p := range vols {
+			vols[p] = rng.Intn(3)
+		}
+		return delta.EditItemVolumes(rng.Intn(len(tr.Windows)), trace.DataID(rng.Intn(tr.NumData)), vols)
+	case op == 4: // no-op edit: re-state the item's current volumes
+		w := rng.Intn(len(tr.Windows))
+		d := trace.DataID(rng.Intn(tr.NumData))
+		vols := make([]int, np)
+		for _, r := range tr.Windows[w].Refs {
+			if r.Data == d {
+				vols[r.Proc] += r.Volume
+			}
+		}
+		return delta.EditItemVolumes(w, d, vols)
+	default: // remove
+		return delta.RemoveWindow(rng.Intn(len(tr.Windows)))
+	}
+}
+
+// checkAgainstReplay is the differential replay referee's inner step:
+// given a session and the delta log's serial materialization, it
+// demands bit-identical fingerprints, residence tables, schedules and
+// costs between the incremental path and a from-scratch recomputation,
+// then subjects the schedule to the independent evaluator.
+func checkAgainstReplay(t *testing.T, s *delta.Session, shadow *trace.Trace, scheduler sched.Scheduler, capacity int, context string) {
+	t.Helper()
+	if got, want := s.Fingerprint(), shadow.Fingerprint(); got != want {
+		t.Fatalf("%s: session fingerprint %v != materialized trace %v", context, got, want)
+	}
+	m := cost.NewModel(shadow)
+	fullTable := m.BuildResidenceTable()
+	table := s.Table()
+	if len(table) != len(fullTable) {
+		t.Fatalf("%s: session table has %d windows, full rebuild %d", context, len(table), len(fullTable))
+	}
+	for w := range fullTable {
+		for d := range fullTable[w] {
+			for c := range fullTable[w][d] {
+				if table[w][d][c] != fullTable[w][d][c] {
+					t.Fatalf("%s: patched R[%d][%d][%d] = %d, full rebuild gives %d",
+						context, w, d, c, table[w][d][c], fullTable[w][d][c])
+				}
+			}
+		}
+	}
+
+	got, err := s.Schedule()
+	if err != nil {
+		t.Fatalf("%s: incremental schedule: %v", context, err)
+	}
+	p := &sched.Problem{Model: m, Table: fullTable, Capacity: capacity}
+	want, err := scheduler.Schedule(p)
+	if err != nil {
+		t.Fatalf("%s: full schedule: %v", context, err)
+	}
+	if !got.Schedule.Equal(want) {
+		t.Fatalf("%s: incremental schedule %v != full recomputation %v", context, got.Schedule, want)
+	}
+	if wantBD := m.Evaluate(want); got.Cost != wantBD {
+		t.Fatalf("%s: incremental cost %+v != full recomputation %+v", context, got.Cost, wantBD)
+	}
+	if err := verify.Check(shadow, got.Schedule, capacity); err != nil {
+		t.Fatalf("%s: invariant violation: %v", context, err)
+	}
+	claim := verify.Breakdown{Residence: got.Cost.Residence, Move: got.Cost.Move}
+	if err := verify.CrossCheck(shadow, got.Schedule, m.DataSize, claim); err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+}
+
+// TestDeltaReplayAgrees is the headline referee of the incremental
+// machinery: 160 seeded instances, each driven through 1-20 random
+// deltas, with the session's {fingerprint, table, schedule, cost}
+// pinned to a full from-scratch recomputation after every step. A
+// quarter of the instances run fallback configurations — SCDS, LOMCDS
+// and capacity-bounded GOMCDS, whose capacity commits plant
+// forbidden-Inf vertices in the DP — so the patched-table-plus-full-
+// scheduler path is refereed too.
+func TestDeltaReplayAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	const instances = 160
+	for i := 0; i < instances; i++ {
+		g := grid.New(1+rng.Intn(3), 1+rng.Intn(3))
+		nd := 1 + rng.Intn(4)
+		nw := rng.Intn(4)
+		tr := verify.RandomTrace(rng, g, nd, nw, 6)
+
+		scheduler, capacity := sched.Scheduler(sched.GOMCDS{}), 0
+		switch i % 8 {
+		case 5:
+			scheduler = sched.SCDS{}
+		case 6:
+			scheduler = sched.LOMCDS{}
+		case 7:
+			capacity = placement.MinCapacity(nd, g.NumProcs())
+		}
+
+		s, err := delta.NewSession(tr, scheduler, capacity, delta.Options{})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		shadow := tr.Clone()
+		steps := 1 + rng.Intn(20)
+		for step := 0; step < steps; step++ {
+			d := randomDelta(rng, shadow)
+			if _, err := s.Apply(d); err != nil {
+				t.Fatalf("instance %d step %d: apply %v: %v", i, step, d, err)
+			}
+			if err := delta.Materialize(shadow, d); err != nil {
+				t.Fatalf("instance %d step %d: materialize %v: %v", i, step, d, err)
+			}
+			context := "instance " + itoa(i) + " step " + itoa(step) + " after " + d.String() +
+				" (" + scheduler.Name() + ", capacity " + itoa(capacity) + ")"
+			checkAgainstReplay(t, s, shadow, scheduler, capacity, context)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestDeltaReplayDegenerate covers the table's corners: an empty
+// starting trace grown from nothing, a single-window trace, a 1xN grid
+// (where the y-sweep degenerates), and a trace removed down to empty.
+func TestDeltaReplayDegenerate(t *testing.T) {
+	scheduler := sched.GOMCDS{}
+
+	t.Run("empty trace grows", func(t *testing.T) {
+		tr := trace.New(grid.New(2, 2), 2)
+		s, err := delta.NewSession(tr, scheduler, 0, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := tr.Clone()
+		checkAgainstReplay(t, s, shadow, scheduler, 0, "empty before any delta")
+		for step, d := range []delta.Delta{
+			delta.AppendWindow(nil), // an empty window is legal
+			delta.AppendWindow([]delta.Ref{{Proc: 3, Data: 1, Volume: 2}}),
+			delta.EditItemVolumes(0, 0, []int{1, 0, 0, 4}),
+		} {
+			if _, err := s.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+			if err := delta.Materialize(shadow, d); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstReplay(t, s, shadow, scheduler, 0, "empty-grown step "+itoa(step))
+		}
+	})
+
+	t.Run("single window", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(71))
+		tr := verify.RandomTrace(rng, grid.New(2, 2), 3, 1, 6)
+		s, err := delta.NewSession(tr, scheduler, 0, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := tr.Clone()
+		for step := 0; step < 8; step++ {
+			d := delta.EditItemVolumes(0, trace.DataID(rng.Intn(3)), []int{rng.Intn(3), rng.Intn(3), rng.Intn(3), rng.Intn(3)})
+			if _, err := s.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+			if err := delta.Materialize(shadow, d); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstReplay(t, s, shadow, scheduler, 0, "single-window step "+itoa(step))
+		}
+	})
+
+	t.Run("1xN grid", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(72))
+		tr := verify.RandomTrace(rng, grid.New(5, 1), 2, 3, 6)
+		s, err := delta.NewSession(tr, scheduler, 0, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := tr.Clone()
+		for step := 0; step < 10; step++ {
+			d := randomDelta(rng, shadow)
+			if _, err := s.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+			if err := delta.Materialize(shadow, d); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstReplay(t, s, shadow, scheduler, 0, "1xN step "+itoa(step)+" after "+d.String())
+		}
+	})
+
+	t.Run("remove to empty", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(73))
+		tr := verify.RandomTrace(rng, grid.New(2, 3), 2, 4, 6)
+		s, err := delta.NewSession(tr, scheduler, 0, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := tr.Clone()
+		for shadow.NumWindows() > 0 {
+			w := rng.Intn(shadow.NumWindows())
+			d := delta.RemoveWindow(w)
+			if _, err := s.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+			if err := delta.Materialize(shadow, d); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstReplay(t, s, shadow, scheduler, 0, "drain at "+itoa(shadow.NumWindows())+" windows")
+		}
+	})
+}
+
+// FuzzDeltaApply feeds arbitrary bytes as a delta program: each byte
+// chunk decodes to one mutation over a small fixed starting trace, and
+// the incremental session is pinned against serial materialization +
+// full recomputation after the whole program runs (and structurally
+// after every delta via the fingerprint). The fuzzer hunts for delta
+// interleavings the seeded referee missed.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x41, 0x02, 0x90, 0x11})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x01, 0x02, 0x03})
+	f.Add([]byte("append edit remove"))
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		g := grid.New(2, 2)
+		const nd = 3
+		tr := trace.New(g, nd)
+		tr.AddWindow().Add(0, 0)
+		tr.AddWindow().Add(3, 1)
+
+		scheduler := sched.GOMCDS{}
+		s, err := delta.NewSession(tr, scheduler, 0, delta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := tr.Clone()
+
+		next := func() (byte, bool) {
+			if len(program) == 0 {
+				return 0, false
+			}
+			b := program[0]
+			program = program[1:]
+			return b, true
+		}
+		for steps := 0; steps < 64; steps++ {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			var d delta.Delta
+			switch op % 3 {
+			case 0:
+				var refs []delta.Ref
+				for {
+					b, ok := next()
+					if !ok || b%5 == 4 {
+						break
+					}
+					v, _ := next()
+					refs = append(refs, delta.Ref{Proc: int(b % 4), Data: trace.DataID(b % nd), Volume: 1 + int(v%4)})
+				}
+				d = delta.AppendWindow(refs)
+			case 1:
+				if shadow.NumWindows() == 0 {
+					continue
+				}
+				w, _ := next()
+				dat, _ := next()
+				vols := make([]int, 4)
+				for p := range vols {
+					b, _ := next()
+					vols[p] = int(b % 3)
+				}
+				d = delta.EditItemVolumes(int(w)%shadow.NumWindows(), trace.DataID(dat%nd), vols)
+			default:
+				if shadow.NumWindows() == 0 {
+					continue
+				}
+				w, _ := next()
+				d = delta.RemoveWindow(int(w) % shadow.NumWindows())
+			}
+			if _, err := s.Apply(d); err != nil {
+				t.Fatalf("apply %v: %v", d, err)
+			}
+			if err := delta.Materialize(shadow, d); err != nil {
+				t.Fatalf("materialize %v: %v", d, err)
+			}
+			if got, want := s.Fingerprint(), shadow.Fingerprint(); got != want {
+				t.Fatalf("after %v: session fingerprint %v != materialized %v", d, got, want)
+			}
+		}
+
+		checkAgainstReplay(t, s, shadow, scheduler, 0, "fuzz program end")
+	})
+}

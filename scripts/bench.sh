@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Kernel benchmark snapshots and drift guards.
 #
-# Snapshot mode (default): runs the two headline kernel comparisons —
+# Snapshot mode (default): runs the three headline comparisons —
 # BenchmarkResidenceKernel (separable prefix-sum residence kernel vs
-# naive per-cell kernel, 16x16 array) and BenchmarkShortestLayeredPath
+# naive per-cell kernel, 16x16 array), BenchmarkShortestLayeredPath
 # + BenchmarkGOMCDS (separable min-plus sweep DP vs dense O(P²)
-# relaxation, 16x16 array) — prints the raw benchstat-compatible
-# output, and records ns/op plus the speedups in BENCH_RESIDENCE.json
-# and BENCH_SCHED.json. Compare two runs with:
+# relaxation, 16x16 array), and BenchmarkDeltaApply (incremental
+# session rescheduling one edited window vs a from-scratch rebuild,
+# 16x16 array, 64 windows) — prints the raw benchstat-compatible
+# output, and records ns/op plus the speedups in BENCH_RESIDENCE.json,
+# BENCH_SCHED.json and BENCH_DELTA.json. Compare two runs with:
 #
 #	scripts/bench.sh > old.txt   # on the baseline commit
 #	scripts/bench.sh > new.txt
@@ -126,14 +128,45 @@ END {
 	printf "}\n"
 }')"
 
+echo
+echo "== incremental rescheduling (delta) =="
+RAW_DELTA="$(go test -run '^$' -bench '^BenchmarkDeltaApply$' -benchmem -count "$COUNT" .)"
+echo "$RAW_DELTA"
+
+DELTA_SUMMARY="$(echo "$RAW_DELTA" | awk -v count="$COUNT" '
+/^BenchmarkDeltaApply\/incremental/ { inc += $3; ninc++ }
+/^BenchmarkDeltaApply\/full/        { ful += $3; nful++ }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+END {
+	if (ninc == 0 || nful == 0) {
+		print "bench.sh: no delta benchmark samples parsed" > "/dev/stderr"
+		exit 1
+	}
+	inc /= ninc; ful /= nful
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkDeltaApply\",\n"
+	printf "  \"grid\": \"16x16\",\n"
+	printf "  \"windows\": 64,\n"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"count\": %d,\n", count
+	printf "  \"incremental_ns_per_op\": %.0f,\n", inc
+	printf "  \"full_ns_per_op\": %.0f,\n", ful
+	printf "  \"speedup\": %.2f\n", ful / inc
+	printf "}\n"
+}')"
+
 if [ "$CHECK" = 1 ]; then
 	check_drift BENCH_RESIDENCE.json separable_ns_per_op "$RES_SUMMARY"
 	check_drift BENCH_SCHED.json sweep_ns_per_op "$SCHED_SUMMARY"
 	check_drift BENCH_SCHED.json gomcds_sweep_ns_per_op "$SCHED_SUMMARY"
+	check_drift BENCH_DELTA.json incremental_ns_per_op "$DELTA_SUMMARY"
 else
 	echo "$RES_SUMMARY" > BENCH_RESIDENCE.json
 	echo "$SCHED_SUMMARY" > BENCH_SCHED.json
+	echo "$DELTA_SUMMARY" > BENCH_DELTA.json
 	echo
-	echo "bench.sh: wrote BENCH_RESIDENCE.json and BENCH_SCHED.json"
-	cat BENCH_RESIDENCE.json BENCH_SCHED.json
+	echo "bench.sh: wrote BENCH_RESIDENCE.json, BENCH_SCHED.json and BENCH_DELTA.json"
+	cat BENCH_RESIDENCE.json BENCH_SCHED.json BENCH_DELTA.json
 fi

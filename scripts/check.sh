@@ -29,6 +29,15 @@ go test -race "$@" ./...
 echo "== service load test (-race -short) =="
 go test -race -short -run '^TestLoadConcurrentClients$' ./internal/service
 
+# The incremental-scheduling referees: the differential replay referee
+# (seeded delta sequences pinning sessions to from-scratch recomputation
+# after every step) and the 32-client single-session storm, both under
+# the race detector. Like the load test, these already ran as part of
+# ./... above; the named gates survive narrower invocations.
+echo "== delta replay referee (-race) =="
+go test -race -run '^TestDeltaReplayAgrees$' ./internal/verify
+go test -race -run '^TestHTTPSessionConcurrentClients$' ./internal/service
+
 # Metrics scrape gate: boot a real pimserve, issue one schedule request,
 # and scrape /metrics, failing unless the expected series are present.
 # This exercises the full observability path (registry wiring, stage
@@ -81,6 +90,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -race -run '^$' -fuzz '^FuzzLayeredKernels$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzVerifyCost$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzCheckSchedule$' -fuzztime "$FUZZTIME" ./internal/verify
+	go test -race -run '^$' -fuzz '^FuzzDeltaApply$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzFingerprint$' -fuzztime "$FUZZTIME" ./internal/trace
 fi
 
