@@ -10,9 +10,13 @@
 package pim_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/costgraph"
@@ -20,8 +24,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // BenchmarkFigure1Example regenerates the Section 3.3 / Figure 1 worked
@@ -333,6 +339,145 @@ func BenchmarkDeltaApply(b *testing.B) {
 			_ = p.Model.Evaluate(schedule)
 		}
 	})
+}
+
+// BenchmarkResidenceRow pins the steady-state single-row pricing
+// kernel — the unit of work an incremental session does per dirtied
+// (window, item) pair. It runs allocation-free through a caller-held
+// RowScratch; scripts/bench.sh fails the snapshot if allocs/op is ever
+// non-zero.
+func BenchmarkResidenceRow(b *testing.B) {
+	rng := rand.New(rand.NewSource(80))
+	g := grid.Square(16)
+	const nd = 64
+	tr := trace.New(g, nd)
+	for w := 0; w < 8; w++ {
+		win := tr.AddWindow()
+		for r := 0; r < 4*256; r++ {
+			win.Add(rng.Intn(g.NumProcs()), trace.DataID(rng.Intn(nd)))
+		}
+	}
+	m := cost.NewModel(tr)
+	sc := m.NewRowScratch()
+	out := make([]int64, g.NumProcs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ResidenceRowInto(sc, i%8, trace.DataID(i%nd), out)
+	}
+}
+
+// BenchmarkSolveBatch compares the batched layer-major DP (one pass
+// over the flat cost cube sweeps every item of a window range) against
+// the per-item Solve loop it replaced in GOMCDS, with rows aliased
+// into the cube exactly as the old scheduler did. Both recurrences are
+// bit-identical (TestSolveBatchMatchesSolve) and the relax sweeps
+// dominate, so the times track each other; the batch form's win is
+// that it returns zero per-item garbage once the solver's scratch has
+// grown — scripts/bench.sh fails the snapshot if batch allocs/op is
+// ever non-zero.
+func BenchmarkSolveBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	const layers, items, n = 8, 64, 16
+	np := n * n
+	cells := make([]int64, layers*items*np)
+	for i := range cells {
+		cells[i] = int64(rng.Intn(1000))
+	}
+	sizes := make([]int64, items)
+	for i := range sizes {
+		sizes[i] = int64(1 + rng.Intn(4))
+	}
+	b.Run("batch", func(b *testing.B) {
+		s := costgraph.NewSolver(n, n)
+		s.SolveBatch(cells, layers, items, 0, items, sizes) // grow scratch once
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.SolveBatch(cells, layers, items, 0, items, sizes)
+		}
+	})
+	b.Run("per-item", func(b *testing.B) {
+		s := costgraph.NewSolver(n, n)
+		nodeCost := make([][]int64, layers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for it := 0; it < items; it++ {
+				for l := 0; l < layers; l++ {
+					base := (l*items + it) * np
+					nodeCost[l] = cells[base : base+np]
+				}
+				s.Solve(nodeCost, sizes[it])
+			}
+		}
+	})
+}
+
+// BenchmarkServeSchedule is the in-process service load harness: the
+// cache-hot /schedule path (decode trace text, hit the table cache,
+// pooled batched DP, assemble response) measured end to end. The hot
+// sub-benchmark drives a closed loop and reports p50/p99 latency as
+// custom metrics; the parallel one drives GOMAXPROCS closed loops to
+// expose cross-request contention (the solver pool and buffer pool
+// must not serialize it). scripts/bench.sh snapshots both into
+// BENCH_SERVE.json and --check guards the drift.
+func BenchmarkServeSchedule(b *testing.B) {
+	text := serveTrace(b, "lu", 16, grid.Square(4))
+	req := service.Request{Trace: text, Algorithm: "gomcds"}
+	ctx := context.Background()
+	b.Run("hot", func(b *testing.B) {
+		svc := service.New(service.Config{})
+		defer svc.Close()
+		if _, err := svc.Schedule(ctx, req); err != nil {
+			b.Fatal(err) // warm: builds and caches the table
+		}
+		lat := make([]time.Duration, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := svc.Schedule(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			lat[i] = time.Since(t0)
+		}
+		b.StopTimer()
+		slices.Sort(lat)
+		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds())/1e3, "p50-us")
+		b.ReportMetric(float64(lat[min(len(lat)-1, len(lat)*99/100)].Nanoseconds())/1e3, "p99-us")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		svc := service.New(service.Config{})
+		defer svc.Close()
+		if _, err := svc.Schedule(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := svc.Schedule(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// serveTrace renders a generated workload in the pimtrace v1 codec,
+// the form service requests carry.
+func serveTrace(b *testing.B, gen string, n int, g grid.Grid) string {
+	b.Helper()
+	generator, err := workload.ByName(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, generator.Generate(n, g)); err != nil {
+		b.Fatal(err)
+	}
+	return buf.String()
 }
 
 // BenchmarkOnlineStudy regenerates the E7 online-vs-offline study at

@@ -292,12 +292,13 @@ func kernelStudy(out io.Writer, g grid.Grid, n int, stages func(string, time.Dur
 	naive := m.BuildResidenceTableNaive()
 	naiveDur := time.Since(start)
 
-	for w := range fast {
-		for d := range fast[w] {
-			for c := range fast[w][d] {
-				if fast[w][d][c] != naive[w][d][c] {
+	for w := 0; w < fast.NumWindows(); w++ {
+		for d := 0; d < fast.NumData(); d++ {
+			fr, nr := fast.Row(w, d), naive.Row(w, d)
+			for c := range fr {
+				if fr[c] != nr[c] {
 					return fmt.Errorf("kernel divergence at [%d][%d][%d]: separable %d, naive %d",
-						w, d, c, fast[w][d][c], naive[w][d][c])
+						w, d, c, fr[c], nr[c])
 				}
 			}
 		}

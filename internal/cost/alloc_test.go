@@ -1,0 +1,59 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The steady-state allocation pins below are part of the hot-path
+// contract: the row-pricing kernel and the table patch kernels must not
+// touch the heap once their scratch exists, or per-request and
+// per-delta garbage creeps back in unnoticed. testing.AllocsPerRun
+// reports the average allocations of a run, so any regression — even a
+// single conditional allocation — fails the pin.
+
+func TestResidenceRowIntoZeroAlloc(t *testing.T) {
+	m := NewModel(twoWindowTrace())
+	sc := m.NewRowScratch()
+	out := make([]int64, m.Grid.NumProcs())
+	if n := testing.AllocsPerRun(200, func() {
+		m.ResidenceRowInto(sc, 0, 0, out)
+		m.ResidenceRowInto(sc, 1, 1, out)
+	}); n != 0 {
+		t.Fatalf("ResidenceRowInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestPatchEditItemZeroAlloc(t *testing.T) {
+	tr := twoWindowTrace()
+	m := NewModel(tr)
+	table := m.BuildResidenceTable()
+	sc := m.NewRowScratch()
+	win := &tr.Windows[0]
+	if n := testing.AllocsPerRun(200, func() {
+		m.PatchEditItem(table, 0, trace.DataID(0), win, sc)
+	}); n != 0 {
+		t.Fatalf("PatchEditItem allocates %v per run, want 0", n)
+	}
+}
+
+// Window removal must also stay off the heap: the flat backing array
+// is shifted down in place, never reallocated. (Appends are exempt —
+// extending the counts matrix allocates the new window's rows.)
+func TestPatchRemoveWindowZeroAlloc(t *testing.T) {
+	tr := twoWindowTrace()
+	for len(tr.Windows) < 130 {
+		win := tr.AddWindow()
+		win.Add(2, 1)
+	}
+	m := NewModel(tr)
+	table := m.BuildResidenceTable()
+	if n := testing.AllocsPerRun(100, func() {
+		last := len(tr.Windows) - 1
+		tr.Windows = tr.Windows[:last]
+		table = m.PatchRemoveWindow(table, last)
+	}); n != 0 {
+		t.Fatalf("PatchRemoveWindow allocates %v per run, want 0", n)
+	}
+}

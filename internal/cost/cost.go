@@ -186,8 +186,52 @@ func (m *Model) Residence(w int, d trace.DataID, c int) int64 {
 }
 
 // ResidenceTable holds R[w][d][c], the residence cost of window w with
-// item d stored at processor c.
-type ResidenceTable [][][]int64
+// item d stored at processor c, in one flat backing slice indexed
+// arithmetically: cell (w, d, c) lives at (w*nd + d)*np + c. The flat
+// layout keeps every row of one window contiguous (all items of window
+// w occupy cells [w*nd*np, (w+1)*nd*np)), which is what the batched DP
+// sweep (costgraph.Solver.SolveBatch) streams through layer by layer.
+// Access rows with Row and single cells with At; Cells exposes the
+// backing slice for kernels that consume the documented layout
+// directly.
+type ResidenceTable struct {
+	nw, nd, np int
+	cells      []int64
+}
+
+// NewResidenceTable returns a zeroed nw x nd x np table.
+func NewResidenceTable(nw, nd, np int) ResidenceTable {
+	if nw < 0 || nd < 0 || np < 0 {
+		panic(fmt.Sprintf("cost: negative table shape %dx%dx%d", nw, nd, np))
+	}
+	return ResidenceTable{nw: nw, nd: nd, np: np, cells: make([]int64, nw*nd*np)}
+}
+
+// NumWindows returns the number of windows the table covers.
+func (t ResidenceTable) NumWindows() int { return t.nw }
+
+// NumData returns the number of data items per window.
+func (t ResidenceTable) NumData() int { return t.nd }
+
+// NumProcs returns the number of processors per row.
+func (t ResidenceTable) NumProcs() int { return t.np }
+
+// Row returns the np-cell residence row of (window w, item d) as a
+// full-capacity subslice of the backing store: writing through it
+// mutates the table, and no allocation happens.
+func (t ResidenceTable) Row(w, d int) []int64 {
+	base := (w*t.nd + d) * t.np
+	return t.cells[base : base+t.np : base+t.np]
+}
+
+// At returns the residence cost of window w with item d at processor c.
+func (t ResidenceTable) At(w, d, c int) int64 {
+	return t.cells[(w*t.nd+d)*t.np+c]
+}
+
+// Cells returns the flat backing slice in the documented
+// (w*nd + d)*np + c layout (shared, do not resize).
+func (t ResidenceTable) Cells() []int64 { return t.cells }
 
 // BuildResidenceTable computes the full residence table with the
 // kernel selected by m.Kernel (the separable prefix-sum kernel by

@@ -57,9 +57,9 @@ func TestBuildResidenceTableMatchesDirect(t *testing.T) {
 		for w := 0; w < m.NumWindows(); w++ {
 			for d := 0; d < m.NumData; d++ {
 				for c := 0; c < m.Grid.NumProcs(); c++ {
-					if table[w][d][c] != m.Residence(w, trace.DataID(d), c) {
+					if table.At(w, d, c) != m.Residence(w, trace.DataID(d), c) {
 						t.Fatalf("iter %d: table[%d][%d][%d] = %d, want %d",
-							iter, w, d, c, table[w][d][c], m.Residence(w, trace.DataID(d), c))
+							iter, w, d, c, table.At(w, d, c), m.Residence(w, trace.DataID(d), c))
 					}
 				}
 			}
@@ -79,12 +79,13 @@ func TestKernelDispatch(t *testing.T) {
 	naiveExplicit := m.BuildResidenceTableNaive()
 	m.Kernel = KernelNaive
 	naiveOption := m.BuildResidenceTable()
-	for w := range sep {
-		for d := range sep[w] {
-			for c := range sep[w][d] {
-				if sep[w][d][c] != naiveExplicit[w][d][c] || sep[w][d][c] != naiveOption[w][d][c] {
+	for w := 0; w < sep.NumWindows(); w++ {
+		for d := 0; d < sep.NumData(); d++ {
+			sr, ne, no := sep.Row(w, d), naiveExplicit.Row(w, d), naiveOption.Row(w, d)
+			for c := range sr {
+				if sr[c] != ne[c] || sr[c] != no[c] {
 					t.Fatalf("kernel divergence at [%d][%d][%d]: separable %d, naive %d, option %d",
-						w, d, c, sep[w][d][c], naiveExplicit[w][d][c], naiveOption[w][d][c])
+						w, d, c, sr[c], ne[c], no[c])
 				}
 			}
 		}
@@ -111,7 +112,7 @@ func TestBuildAggregateTableMatchesWindowSums(t *testing.T) {
 			for c := 0; c < m.Grid.NumProcs(); c++ {
 				var want int64
 				for w := 0; w < m.NumWindows(); w++ {
-					want += table[w][d][c]
+					want += table.At(w, d, c)
 				}
 				if agg[d][c] != want {
 					t.Fatalf("iter %d: agg[%d][%d] = %d, want %d", iter, d, c, agg[d][c], want)

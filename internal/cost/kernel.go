@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Kernel selects the algorithm BuildResidenceTable uses.
@@ -65,33 +66,24 @@ func axisCosts(vol, out []int64) {
 // buildSeparable computes the table with the prefix-sum kernel,
 // parallelized over data items like the naive builder.
 func (m *Model) buildSeparable() ResidenceTable {
-	nw, nd, np := m.NumWindows(), m.NumData, m.Grid.NumProcs()
-	table := newResidenceTable(nw, nd, np)
-	nx, ny := m.Grid.Width(), m.Grid.Height()
+	table := NewResidenceTable(m.NumWindows(), m.NumData, m.Grid.NumProcs())
+	m.fillSeparable(table)
+	return table
+}
+
+// fillSeparable prices every row of an existing table in place with the
+// prefix-sum kernel. The table shape must match the model; rows of
+// unreferenced (window, item) pairs are zeroed, so the result is
+// identical to a fresh build regardless of the table's prior contents.
+func (m *Model) fillSeparable(table ResidenceTable) {
+	nw, nd := m.NumWindows(), m.NumData
+	m.checkShape(table)
 	parallel.ForEach(nd, func(d int) {
-		colVol := make([]int64, nx)
-		rowVol := make([]int64, ny)
-		colCost := make([]int64, nx)
-		rowCost := make([]int64, ny)
+		sc := m.NewRowScratch()
 		for w := 0; w < nw; w++ {
-			if !m.projectVolumes(m.counts[w][d], colVol, rowVol) {
-				continue // no references: the zero-initialized row is exact
-			}
-			axisCosts(colVol, colCost)
-			axisCosts(rowVol, rowCost)
-			row := table[w][d]
-			for c := 0; c < np; c++ {
-				row[c] = colCost[m.colOf[c]] + rowCost[m.rowOf[c]]
-			}
-			for x := range colVol {
-				colVol[x] = 0
-			}
-			for y := range rowVol {
-				rowVol[y] = 0
-			}
+			m.residenceRowInto(sc, w, trace.DataID(d), table.Row(w, d))
 		}
 	})
-	return table
 }
 
 // projectVolumes accumulates one count row onto the column and row
@@ -114,7 +106,7 @@ func (m *Model) projectVolumes(counts []int, colVol, rowVol []int64) bool {
 // for differential testing and as a Kernel option.
 func (m *Model) buildNaive() ResidenceTable {
 	nw, nd, np := m.NumWindows(), m.NumData, m.Grid.NumProcs()
-	table := newResidenceTable(nw, nd, np)
+	table := NewResidenceTable(nw, nd, np)
 	parallel.ForEach(nd, func(d int) {
 		// Scratch for the sparse (processor, volume) pairs of one window.
 		procs := make([]int, 0, np)
@@ -127,7 +119,7 @@ func (m *Model) buildNaive() ResidenceTable {
 					vols = append(vols, int64(v))
 				}
 			}
-			row := table[w][d]
+			row := table.Row(w, d)
 			for c := 0; c < np; c++ {
 				var total int64
 				for i, p := range procs {
@@ -140,18 +132,14 @@ func (m *Model) buildNaive() ResidenceTable {
 	return table
 }
 
-// newResidenceTable allocates a zeroed nw x nd x np table with one flat
-// backing slice per window.
-func newResidenceTable(nw, nd, np int) ResidenceTable {
-	table := make(ResidenceTable, nw)
-	for w := range table {
-		flat := make([]int64, nd*np)
-		table[w] = make([][]int64, nd)
-		for d := range table[w] {
-			table[w][d], flat = flat[:np], flat[np:]
-		}
+// checkShape panics unless the table's shape matches the model's
+// current trace dimensions.
+func (m *Model) checkShape(table ResidenceTable) {
+	if table.NumWindows() != m.NumWindows() || table.NumData() != m.NumData || table.NumProcs() != m.Grid.NumProcs() {
+		panic(fmt.Sprintf("cost: table shape %dx%dx%d does not match model %dx%dx%d",
+			table.NumWindows(), table.NumData(), table.NumProcs(),
+			m.NumWindows(), m.NumData, m.Grid.NumProcs()))
 	}
-	return table
 }
 
 // BuildAggregateTable returns A[d][c], the residence cost of item d at

@@ -13,6 +13,11 @@
 // lockstep with a mutated trace at per-delta cost O(touched refs +
 // X + Y + P) instead of the full O(W·D·(X+Y+P)) rebuild.
 //
+// The steady-state patch path allocates nothing: rows are priced in
+// place through a caller-held RowScratch, window removal shifts the
+// flat backing slice down, and window appends reuse backing capacity
+// left by earlier removals (growing it geometrically otherwise).
+//
 // The grid and the data-space size are fixed at model construction;
 // deltas may change reference events and the window list only. The
 // differential replay referee in internal/verify pins every patched
@@ -21,43 +26,79 @@ package cost
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/trace"
 )
+
+// RowScratch holds the per-axis histograms and cost profiles one
+// residence-row pricing needs, so repeated row refreshes allocate
+// nothing. A scratch is tied to the grid shape of the model that
+// created it and is not safe for concurrent use; hold one per
+// goroutine (an incremental session owns exactly one).
+type RowScratch struct {
+	colVol, rowVol   []int64
+	colCost, rowCost []int64
+}
+
+// NewRowScratch returns a scratch sized for the model's grid.
+func (m *Model) NewRowScratch() *RowScratch {
+	nx, ny := m.Grid.Width(), m.Grid.Height()
+	return &RowScratch{
+		colVol:  make([]int64, nx),
+		rowVol:  make([]int64, ny),
+		colCost: make([]int64, nx),
+		rowCost: make([]int64, ny),
+	}
+}
 
 // ResidenceRow prices one (window, item) residence-table row into out
 // (length NumProcs) with the separable per-axis kernel, from the
 // model's current counts. It is the single-row form of
 // BuildResidenceTable, used to refresh exactly the rows a trace delta
-// dirtied.
+// dirtied. It allocates transient scratch; hot paths should hold a
+// RowScratch and call ResidenceRowInto instead.
 func (m *Model) ResidenceRow(w int, d trace.DataID, out []int64) {
+	m.ResidenceRowInto(m.NewRowScratch(), w, d, out)
+}
+
+// ResidenceRowInto is ResidenceRow pricing through a caller-held
+// scratch: the steady-state form, allocation-free. The scratch must
+// come from this model's NewRowScratch (grid shapes must match).
+func (m *Model) ResidenceRowInto(sc *RowScratch, w int, d trace.DataID, out []int64) {
 	np := m.Grid.NumProcs()
 	if len(out) != np {
 		panic(fmt.Sprintf("cost: residence row has %d cells, array has %d processors", len(out), np))
 	}
-	nx, ny := m.Grid.Width(), m.Grid.Height()
-	colVol := make([]int64, nx)
-	rowVol := make([]int64, ny)
-	if !m.projectVolumes(m.counts[w][d], colVol, rowVol) {
-		for c := range out {
-			out[c] = 0
-		}
+	if len(sc.colVol) != m.Grid.Width() || len(sc.rowVol) != m.Grid.Height() {
+		panic(fmt.Sprintf("cost: row scratch shaped %dx%d, grid is %dx%d",
+			len(sc.colVol), len(sc.rowVol), m.Grid.Width(), m.Grid.Height()))
+	}
+	m.residenceRowInto(sc, w, d, out)
+}
+
+// residenceRowInto is the unchecked kernel body shared with the full
+// table builder.
+func (m *Model) residenceRowInto(sc *RowScratch, w int, d trace.DataID, out []int64) {
+	clear(sc.colVol)
+	clear(sc.rowVol)
+	if !m.projectVolumes(m.counts[w][d], sc.colVol, sc.rowVol) {
+		clear(out)
 		return
 	}
-	colCost := make([]int64, nx)
-	rowCost := make([]int64, ny)
-	axisCosts(colVol, colCost)
-	axisCosts(rowVol, rowCost)
-	for c := 0; c < np; c++ {
-		out[c] = colCost[m.colOf[c]] + rowCost[m.rowOf[c]]
+	axisCosts(sc.colVol, sc.colCost)
+	axisCosts(sc.rowVol, sc.rowCost)
+	for c := range out {
+		out[c] = sc.colCost[m.colOf[c]] + sc.rowCost[m.rowOf[c]]
 	}
 }
 
 // PatchEditItem re-derives counts[w][d] from the window's current
 // events and refreshes the matching residence-table row in place. The
 // window must already hold the post-delta events; rows of other items
-// and windows are untouched.
-func (m *Model) PatchEditItem(table ResidenceTable, w int, d trace.DataID, win *trace.Window) {
+// and windows are untouched. sc may be nil (a transient scratch is
+// allocated); sessions pass their own for an allocation-free patch.
+func (m *Model) PatchEditItem(table ResidenceTable, w int, d trace.DataID, win *trace.Window, sc *RowScratch) {
 	m.checkPatch(table, w)
 	row := m.counts[w][d]
 	for p := range row {
@@ -68,17 +109,20 @@ func (m *Model) PatchEditItem(table ResidenceTable, w int, d trace.DataID, win *
 			row[r.Proc] += r.Volume
 		}
 	}
-	m.ResidenceRow(w, d, table[w][d])
+	if sc == nil {
+		sc = m.NewRowScratch()
+	}
+	m.ResidenceRowInto(sc, w, d, table.Row(w, int(d)))
 }
 
 // PatchAppendWindow extends the model's counts and the table with one
 // new window holding win's events, and returns the extended table.
 // Only items the window actually references get a priced row; the rest
 // keep the exact all-zero row an unreferenced (window, item) pair has
-// in a full build.
-func (m *Model) PatchAppendWindow(table ResidenceTable, win *trace.Window) ResidenceTable {
-	if len(table) != len(m.counts) {
-		panic(fmt.Sprintf("cost: table covers %d windows, model has %d", len(table), len(m.counts)))
+// in a full build. sc may be nil, as in PatchEditItem.
+func (m *Model) PatchAppendWindow(table ResidenceTable, win *trace.Window, sc *RowScratch) ResidenceTable {
+	if table.NumWindows() != len(m.counts) {
+		panic(fmt.Sprintf("cost: table covers %d windows, model has %d", table.NumWindows(), len(m.counts)))
 	}
 	nd, np := m.NumData, m.Grid.NumProcs()
 
@@ -94,31 +138,39 @@ func (m *Model) PatchAppendWindow(table ResidenceTable, win *trace.Window) Resid
 	}
 	m.counts = append(m.counts, wc)
 
-	tflat := make([]int64, nd*np)
-	trows := make([][]int64, nd)
-	for d := range trows {
-		trows[d], tflat = tflat[:np], tflat[np:]
+	// Extend the flat backing by one window's worth of zeroed cells,
+	// reusing capacity when available (clear wipes whatever a removed
+	// window left behind there).
+	n := len(table.cells)
+	table.cells = slices.Grow(table.cells, nd*np)[:n+nd*np]
+	clear(table.cells[n:])
+	table.nw++
+	w := table.nw - 1
+	if sc == nil {
+		sc = m.NewRowScratch()
 	}
-	table = append(table, trows)
-	w := len(table) - 1
 	for d := range touched {
-		m.ResidenceRow(w, d, table[w][d])
+		m.ResidenceRowInto(sc, w, d, table.Row(w, int(d)))
 	}
 	return table
 }
 
 // PatchRemoveWindow drops window w from the model's counts and the
 // table, shifting later windows down by one, and returns the shrunken
-// table.
+// table. The backing capacity is retained for future appends.
 func (m *Model) PatchRemoveWindow(table ResidenceTable, w int) ResidenceTable {
 	m.checkPatch(table, w)
 	m.counts = append(m.counts[:w], m.counts[w+1:]...)
-	return append(table[:w], table[w+1:]...)
+	stride := table.nd * table.np
+	copy(table.cells[w*stride:], table.cells[(w+1)*stride:])
+	table.cells = table.cells[:len(table.cells)-stride]
+	table.nw--
+	return table
 }
 
 func (m *Model) checkPatch(table ResidenceTable, w int) {
-	if len(table) != len(m.counts) {
-		panic(fmt.Sprintf("cost: table covers %d windows, model has %d", len(table), len(m.counts)))
+	if table.NumWindows() != len(m.counts) {
+		panic(fmt.Sprintf("cost: table covers %d windows, model has %d", table.NumWindows(), len(m.counts)))
 	}
 	if w < 0 || w >= len(m.counts) {
 		panic(fmt.Sprintf("cost: patch window %d outside [0,%d)", w, len(m.counts)))

@@ -11,15 +11,16 @@ import (
 // tablesEqual asserts two residence tables agree cell-for-cell.
 func tablesEqual(t *testing.T, got, want ResidenceTable, context string) {
 	t.Helper()
-	if len(got) != len(want) {
-		t.Fatalf("%s: table covers %d windows, want %d", context, len(got), len(want))
+	if got.NumWindows() != want.NumWindows() {
+		t.Fatalf("%s: table covers %d windows, want %d", context, got.NumWindows(), want.NumWindows())
 	}
-	for w := range want {
-		for d := range want[w] {
-			for c := range want[w][d] {
-				if got[w][d][c] != want[w][d][c] {
+	for w := 0; w < want.NumWindows(); w++ {
+		for d := 0; d < want.NumData(); d++ {
+			gr, wr := got.Row(w, d), want.Row(w, d)
+			for c := range wr {
+				if gr[c] != wr[c] {
 					t.Fatalf("%s: R[%d][%d][%d] = %d, full rebuild gives %d",
-						context, w, d, c, got[w][d][c], want[w][d][c])
+						context, w, d, c, gr[c], wr[c])
 				}
 			}
 		}
@@ -57,7 +58,7 @@ func TestPatchMatchesRebuild(t *testing.T) {
 				for r := rng.Intn(6); r > 0; r-- {
 					win.AddVolume(rng.Intn(np), trace.DataID(rng.Intn(tr.NumData)), 1+rng.Intn(3))
 				}
-				table = m.PatchAppendWindow(table, win)
+				table = m.PatchAppendWindow(table, win, nil)
 			case op == 1: // edit one item's refs in one window
 				w := rng.Intn(len(tr.Windows))
 				d := trace.DataID(rng.Intn(tr.NumData))
@@ -72,7 +73,7 @@ func TestPatchMatchesRebuild(t *testing.T) {
 				for r := rng.Intn(4); r > 0; r-- {
 					win.AddVolume(rng.Intn(np), d, 1+rng.Intn(3))
 				}
-				m.PatchEditItem(table, w, d, win)
+				m.PatchEditItem(table, w, d, win, nil)
 			default: // remove
 				w := rng.Intn(len(tr.Windows))
 				tr.Windows = append(tr.Windows[:w], tr.Windows[w+1:]...)

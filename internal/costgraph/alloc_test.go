@@ -1,0 +1,59 @@
+package costgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state allocation pins for the DP kernels: once a solver's
+// scratch has grown to an instance's shape, repeat solves must never
+// touch the heap. These back the service hot path — a regression here
+// shows up as per-request garbage under load.
+
+// allocInstance builds a flat layers x items x np cost cube and sizes.
+func allocInstance(layers, items, width, height int) (cells []int64, sizes []int64) {
+	rng := rand.New(rand.NewSource(41))
+	np := width * height
+	cells = make([]int64, layers*items*np)
+	for i := range cells {
+		cells[i] = int64(rng.Intn(1000))
+	}
+	sizes = make([]int64, items)
+	for i := range sizes {
+		sizes[i] = int64(1 + rng.Intn(4))
+	}
+	return cells, sizes
+}
+
+func TestSolveBatchZeroAlloc(t *testing.T) {
+	const layers, items, n = 6, 5, 8
+	cells, sizes := allocInstance(layers, items, n, n)
+	s := NewSolver(n, n)
+	s.SolveBatch(cells, layers, items, 0, items, sizes) // grow scratch once
+	if a := testing.AllocsPerRun(100, func() {
+		s.SolveBatch(cells, layers, items, 0, items, sizes)
+	}); a != 0 {
+		t.Fatalf("SolveBatch allocates %v per run, want 0", a)
+	}
+}
+
+func TestSolveFromIntoZeroAlloc(t *testing.T) {
+	const layers, n = 6, 8
+	np := n * n
+	cells, sizes := allocInstance(layers, 1, n, n)
+	s := NewSolver(n, n)
+	nodeCost := s.NodeCost(layers)
+	for l := 0; l < layers; l++ {
+		copy(nodeCost[l], cells[l*np:(l+1)*np])
+	}
+	f := make([]int64, layers*np)
+	pred := make([]int, layers*np)
+	path := make([]int, layers)
+	if a := testing.AllocsPerRun(100, func() {
+		if _, p := s.SolveFromInto(nodeCost, sizes[0], 0, f, pred, path); p == nil {
+			t.Fatal("no path on an unconstrained instance")
+		}
+	}); a != 0 {
+		t.Fatalf("SolveFromInto allocates %v per run, want 0", a)
+	}
+}

@@ -1,0 +1,91 @@
+package costgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSolveBatchMatchesSolve pins the batched layer-major sweep to the
+// per-item Solve on random instances — identical totals, paths and
+// tie-breaks for every item of every sub-range, including with
+// forbidden (Inf) vertices sprinkled in.
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 200; iter++ {
+		width, height := 1+rng.Intn(5), 1+rng.Intn(5)
+		np := width * height
+		layers, items := 1+rng.Intn(5), 1+rng.Intn(5)
+		cells := make([]int64, layers*items*np)
+		for i := range cells {
+			if rng.Intn(6) == 0 {
+				cells[i] = Inf
+			} else {
+				cells[i] = int64(rng.Intn(50))
+			}
+		}
+		sizes := make([]int64, items)
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(4))
+		}
+		lo := rng.Intn(items)
+		hi := lo + 1 + rng.Intn(items-lo)
+
+		s := NewSolver(width, height)
+		totals, paths := s.SolveBatch(cells, layers, items, lo, hi, sizes[lo:hi])
+
+		ref := NewSolver(width, height)
+		for i := lo; i < hi; i++ {
+			nodeCost := make([][]int64, layers)
+			for l := 0; l < layers; l++ {
+				base := (l*items + i) * np
+				nodeCost[l] = cells[base : base+np]
+			}
+			wantTotal, wantPath := ref.Solve(nodeCost, sizes[i])
+			gotTotal := totals[i-lo]
+			gotPath := paths[(i-lo)*layers : (i-lo+1)*layers]
+			if gotTotal != wantTotal {
+				t.Fatalf("iter %d item %d: batch total %d, Solve %d", iter, i, gotTotal, wantTotal)
+			}
+			if wantPath == nil {
+				for l, p := range gotPath {
+					if p != -1 {
+						t.Fatalf("iter %d item %d: blocked item has path node %d at layer %d", iter, i, p, l)
+					}
+				}
+				continue
+			}
+			for l := range wantPath {
+				if gotPath[l] != wantPath[l] {
+					t.Fatalf("iter %d item %d layer %d: batch chose %d, Solve chose %d",
+						iter, i, l, gotPath[l], wantPath[l])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchEdgeCases covers degenerate shapes and the argument
+// panics.
+func TestSolveBatchEdgeCases(t *testing.T) {
+	s := NewSolver(2, 2)
+	totals, paths := s.SolveBatch(nil, 0, 3, 1, 1, nil)
+	if len(totals) != 0 || len(paths) != 0 {
+		t.Fatalf("empty range returned %d totals, %d path cells", len(totals), len(paths))
+	}
+	mustPanicBatch(t, "negative layers", func() { s.SolveBatch(nil, -1, 1, 0, 1, make([]int64, 1)) })
+	mustPanicBatch(t, "range outside stride", func() { s.SolveBatch(nil, 0, 2, 1, 3, make([]int64, 2)) })
+	mustPanicBatch(t, "sizes mismatch", func() { s.SolveBatch(nil, 0, 2, 0, 2, make([]int64, 1)) })
+	mustPanicBatch(t, "short cells", func() {
+		s.SolveBatch(make([]int64, 3), 1, 1, 0, 1, make([]int64, 1))
+	})
+}
+
+func mustPanicBatch(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,78 @@
+// Process-lifetime solver pooling.
+//
+// A Solver's scratch is fixed to one grid shape, and a scheduling
+// service sees a small set of shapes over its lifetime (most traffic is
+// one array geometry). GetSolver/PutSolver keep one sync.Pool of
+// solvers per shape so the DP scratch survives across requests instead
+// of being reallocated per schedule call. The shape directory is a
+// copy-on-write slice behind an atomic pointer: the hot path is one
+// atomic load plus a scan of a handful of entries — no locks, no
+// allocation — and only the first request for a brand-new shape takes
+// the registration mutex.
+package costgraph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type solverPoolEntry struct {
+	width, height int
+	pool          *sync.Pool
+}
+
+var (
+	solverPools   atomic.Pointer[[]solverPoolEntry]
+	solverPoolsMu sync.Mutex // serializes registration of new shapes only
+)
+
+// GetSolver returns a solver for a width x height array from the
+// process-lifetime pool, allocating one only when the pool is empty.
+// Return it with PutSolver when done; a solver must not be shared
+// between goroutines while checked out.
+func GetSolver(width, height int) *Solver {
+	if pool := lookupSolverPool(width, height); pool != nil {
+		return pool.Get().(*Solver)
+	}
+	return registerSolverPool(width, height).Get().(*Solver)
+}
+
+// PutSolver returns a solver to its shape's pool. The solver must not
+// be used after Put. Nil is a no-op.
+func PutSolver(s *Solver) {
+	if s == nil {
+		return
+	}
+	if pool := lookupSolverPool(s.width, s.height); pool != nil {
+		pool.Put(s)
+	}
+}
+
+func lookupSolverPool(width, height int) *sync.Pool {
+	list := solverPools.Load()
+	if list == nil {
+		return nil
+	}
+	for i := range *list {
+		if (*list)[i].width == width && (*list)[i].height == height {
+			return (*list)[i].pool
+		}
+	}
+	return nil
+}
+
+func registerSolverPool(width, height int) *sync.Pool {
+	solverPoolsMu.Lock()
+	defer solverPoolsMu.Unlock()
+	if pool := lookupSolverPool(width, height); pool != nil {
+		return pool // raced with another registration
+	}
+	pool := &sync.Pool{New: func() any { return NewSolver(width, height) }}
+	var next []solverPoolEntry
+	if cur := solverPools.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, solverPoolEntry{width: width, height: height, pool: pool})
+	solverPools.Store(&next)
+	return pool
+}

@@ -34,6 +34,15 @@ import "fmt"
 // recomputes nothing and only re-derives the best final node and path
 // from the cached rows.
 func (s *Solver) SolveFrom(nodeCost [][]int64, size int64, start int, f []int64, pred []int) (int64, []int) {
+	return s.SolveFromInto(nodeCost, size, start, f, pred, nil)
+}
+
+// SolveFromInto is SolveFrom with a caller-supplied path buffer: when
+// path has capacity for one node per layer the chosen path is written
+// into it and the same backing is returned, making a steady-state
+// resume allocation-free. A nil or short buffer falls back to a fresh
+// allocation; a blocked instance returns (Inf, nil) regardless.
+func (s *Solver) SolveFromInto(nodeCost [][]int64, size int64, start int, f []int64, pred []int, path []int) (int64, []int) {
 	np := checkGridLayers(nodeCost, s.width, s.height)
 	L := len(nodeCost)
 	if L == 0 {
@@ -79,7 +88,10 @@ func (s *Solver) SolveFrom(nodeCost [][]int64, size int64, start int, f []int64,
 	if bestEnd == -1 {
 		return Inf, nil
 	}
-	path := make([]int, L)
+	if cap(path) < L {
+		path = make([]int, L)
+	}
+	path = path[:L]
 	path[L-1] = bestEnd
 	for l := L - 1; l > 0; l-- {
 		path[l-1] = pred[l*np+path[l]]

@@ -107,6 +107,15 @@ type Solver struct {
 
 	ncRows [][]int64 // NodeCost row headers
 	ncFlat []int64   // NodeCost backing store
+
+	// SolveBatch scratch (see batch.go): per-item reach costs of the
+	// current layer, the full predecessor cube, and the returned
+	// totals/paths/sizes buffers.
+	batchF      []int64
+	batchPred   []int
+	batchTotals []int64
+	batchPaths  []int
+	batchSizes  []int64
 }
 
 // NewSolver returns a Solver for a width x height array.

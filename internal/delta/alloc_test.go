@@ -1,0 +1,94 @@
+package delta
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestApplyEditItemZeroAlloc pins the steady-state delta patch to zero
+// allocations: once a session has seen one edit of a (window, item)
+// pair, re-editing it — trace materialization, fingerprint re-hash,
+// counts refresh, residence-row reprice, dirty marking — must run
+// entirely in the session's own scratch. The edit alternates between
+// two volume patterns so each Apply really changes state.
+func TestApplyEditItemZeroAlloc(t *testing.T) {
+	g := grid.Square(4)
+	tr := trace.New(g, 4)
+	for w := 0; w < 4; w++ {
+		win := tr.AddWindow()
+		win.Add(w, trace.DataID(w%4))
+		win.Add(15-w, 0)
+	}
+	s, err := NewSession(tr, sched.GOMCDS{}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := [2][]int{make([]int, g.NumProcs()), make([]int, g.NumProcs())}
+	edits[0][3], edits[1][5] = 2, 1
+	for i := range edits {
+		if _, err := s.Apply(EditItemVolumes(1, 2, edits[i])); err != nil {
+			t.Fatal(err) // warm: first edits size the scratch
+		}
+	}
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		i++
+		if _, err := s.Apply(EditItemVolumes(1, 2, edits[i%2])); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("steady-state Apply(edit_item) allocates %v per run, want 0", n)
+	}
+}
+
+// TestScheduleIncrementalSuffixResumeAllocs pins the DP-resume half of
+// the hot loop: after the warm-up schedule, an edit + reschedule cycle
+// may allocate only the response assembly (cloned schedule and center
+// matrix), never DP state — f, pred, path and the solver scratch are
+// all reused. The bound is the exact assembly cost measured at the
+// pinned shape; any DP-state regression pushes past it.
+func TestScheduleIncrementalSuffixResumeAllocs(t *testing.T) {
+	g := grid.Square(4)
+	const nd, nw = 4, 4
+	tr := trace.New(g, nd)
+	for w := 0; w < nw; w++ {
+		win := tr.AddWindow()
+		win.Add(w, trace.DataID(w%nd))
+	}
+	s, err := NewSession(tr, sched.GOMCDS{}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.incremental {
+		t.Fatal("session did not take the incremental path")
+	}
+	edits := [2][]int{make([]int, g.NumProcs()), make([]int, g.NumProcs())}
+	edits[0][3], edits[1][5] = 2, 1
+	cycle := func(i int) {
+		if _, err := s.Apply(EditItemVolumes(1, 2, edits[i%2])); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Schedule(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle(0)
+	cycle(1) // warm: DP state and scratch now sized
+
+	// The response assembly allocates one Schedule clone per call: the
+	// centers headers, nw center rows, and the cached clone's rows. On
+	// this fixed 4-window shape that is a small constant; DP state reuse
+	// keeps everything else off the heap.
+	const assemblyBudget = 16
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		i++
+		cycle(i)
+	}); n > assemblyBudget {
+		t.Fatalf("edit+reschedule cycle allocates %v per run, budget %d (response assembly only)",
+			n, assemblyBudget)
+	}
+}

@@ -86,6 +86,10 @@ type Session struct {
 	solver      *costgraph.Solver
 	items       []itemState
 
+	// sc is the session's row-pricing scratch, serialized by mu like
+	// everything else, so steady-state patches allocate nothing.
+	sc *cost.RowScratch
+
 	// Schedule results are cached until the next delta invalidates them.
 	cached      bool
 	cachedSched cost.Schedule
@@ -137,6 +141,7 @@ func NewSession(t *trace.Trace, scheduler sched.Scheduler, capacity int, opts Op
 		stages:    opts.Stages,
 		onLayers:  opts.OnLayersRecomputed,
 	}
+	s.sc = model.NewRowScratch()
 	for i := range tr.Windows {
 		s.fp.AppendWindow(&tr.Windows[i])
 	}
@@ -218,12 +223,12 @@ func (s *Session) Apply(d Delta) (ApplyResult, error) {
 	case OpAppendWindow:
 		win := &s.tr.Windows[oldWindows]
 		s.fp.AppendWindow(win)
-		s.table = s.model.PatchAppendWindow(s.table, win)
+		s.table = s.model.PatchAppendWindow(s.table, win, s.sc)
 		s.markDirty(-1, oldWindows)
 	case OpEditItem:
 		win := &s.tr.Windows[d.Window]
 		s.fp.SetWindow(d.Window, win)
-		s.model.PatchEditItem(s.table, d.Window, d.Data, win)
+		s.model.PatchEditItem(s.table, d.Window, d.Data, win, s.sc)
 		s.markDirty(int(d.Data), d.Window)
 	case OpRemoveWindow:
 		s.fp.RemoveWindow(d.Window)
@@ -317,9 +322,9 @@ func (s *Session) scheduleIncremental() int {
 		layers += nw - start
 		nodeCost := s.solver.NodeCost(nw)
 		for w := 0; w < nw; w++ {
-			nodeCost[w] = s.table[w][d]
+			nodeCost[w] = s.table.Row(w, d)
 		}
-		total, path := s.solver.SolveFrom(nodeCost, int64(s.model.DataSize[d]), start, it.f, it.pred)
+		total, path := s.solver.SolveFromInto(nodeCost, int64(s.model.DataSize[d]), start, it.f, it.pred, it.path)
 		if path == nil {
 			// Unbounded capacity and finite residence costs: every center
 			// sequence is feasible, so a blocked DP is a bookkeeping bug.
@@ -327,7 +332,7 @@ func (s *Session) scheduleIncremental() int {
 		}
 		var residence int64
 		for w, c := range path {
-			residence += s.table[w][d][c]
+			residence += s.table.At(w, d, c)
 		}
 		it.total, it.path = total, path
 		it.residence, it.move = residence, total-residence

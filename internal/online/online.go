@@ -124,10 +124,11 @@ func (s Scheduler) Schedule(p *sched.Problem) (cost.Schedule, error) {
 // updating the hysteresis regret account.
 func (s Scheduler) decide(p *sched.Problem, counts trace.Counts, w, d, cur int, factor float64, regret []int64) int {
 	// Local-optimal center of this window (lowest index on ties).
-	best, bestCost := 0, p.Table[w][d][0]
+	tr := p.Table.Row(w, d)
+	best, bestCost := 0, tr[0]
 	for c := 1; c < p.Model.Grid.NumProcs(); c++ {
-		if p.Table[w][d][c] < bestCost {
-			best, bestCost = c, p.Table[w][d][c]
+		if tr[c] < bestCost {
+			best, bestCost = c, tr[c]
 		}
 	}
 	referenced := counts.Referenced(w, trace.DataID(d))
@@ -152,7 +153,7 @@ func (s Scheduler) decide(p *sched.Problem, counts trace.Counts, w, d, cur int, 
 	case Chase:
 		return best
 	case Hysteresis:
-		regret[d] += p.Table[w][d][cur] - bestCost
+		regret[d] += tr[cur] - bestCost
 		moveCost := int64(p.Model.DataSize[d]) * int64(p.Model.Dist(cur, best))
 		if float64(regret[d]) >= factor*float64(moveCost) && best != cur {
 			// Only *desire* the move here; the account is reset by

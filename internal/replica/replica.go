@@ -202,7 +202,7 @@ func (g Greedy) placeItem(p *sched.Problem, counts trace.Counts, tracker *placem
 		if tracker.Capacity() > 0 && tracker.Used(c) >= tracker.Capacity() {
 			continue
 		}
-		cost := p.Table[w][d][c]
+		cost := p.Table.At(w, d, c)
 		if prev != nil {
 			cost += size * int64(nearest(p, c, prev))
 		}

@@ -35,10 +35,10 @@ func TestNewProblemContextMatchesNewProblem(t *testing.T) {
 	if got.Capacity != want.Capacity || got.Model.NumData != want.Model.NumData {
 		t.Fatal("problems differ")
 	}
-	for w := range want.Table {
-		for d := range want.Table[w] {
-			for c := range want.Table[w][d] {
-				if got.Table[w][d][c] != want.Table[w][d][c] {
+	for w := 0; w < want.Table.NumWindows(); w++ {
+		for d := 0; d < want.Table.NumData(); d++ {
+			for c := 0; c < want.Table.NumProcs(); c++ {
+				if got.Table.At(w, d, c) != want.Table.At(w, d, c) {
 					t.Fatalf("table cell [%d][%d][%d] differs", w, d, c)
 				}
 			}

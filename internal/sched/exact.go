@@ -28,8 +28,9 @@ func (ExactSCDS) Schedule(p *Problem) (cost.Schedule, error) {
 	parallel.ForEach(nd, func(d int) {
 		row := make([]int64, np)
 		for w := 0; w < nw; w++ {
+			tr := p.Table.Row(w, d)
 			for c := 0; c < np; c++ {
-				row[c] += p.Table[w][d][c]
+				row[c] += tr[c]
 			}
 		}
 		agg[d] = row
@@ -78,8 +79,9 @@ func (ExactLOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 	parallel.ForEach(nd, func(d int) {
 		row := make([]int64, np)
 		for w := 0; w < nw; w++ {
+			tr := p.Table.Row(w, d)
 			for c := 0; c < np; c++ {
-				row[c] += p.Table[w][d][c]
+				row[c] += tr[c]
 			}
 			for _, v := range counts[w][d] {
 				if v != 0 {
@@ -99,7 +101,7 @@ func (ExactLOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 		costFn := func(d, c int) int64 {
 			switch {
 			case referenced[w][d]:
-				return p.Table[w][d][c]
+				return p.Table.At(w, d, c)
 			case prev[d] >= 0:
 				return int64(p.Model.Dist(prev[d], c))
 			default:

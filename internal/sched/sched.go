@@ -19,9 +19,9 @@ package sched
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/costgraph"
@@ -199,7 +199,7 @@ func (LOMCDS) Schedule(p *Problem) (cost.Schedule, error) {
 			var list []int
 			switch {
 			case referenced[w][d]:
-				list = processorList(p.Table[w][d], scratch)
+				list = processorList(p.Table.Row(w, d), scratch)
 			case prev[d] >= 0:
 				// No center defined by this window: prefer staying put,
 				// then the nearest processors.
@@ -258,10 +258,11 @@ func (g GOMCDS) dpStage() string {
 }
 
 // ScheduleContext implements ContextScheduler: it is Schedule with a
-// cancellation point between data items, so deadlines and cancellation
-// abort long runs mid-schedule instead of after the full D-item loop.
-// A partial schedule is never returned; on cancellation the result is
-// the zero Schedule and the context's error.
+// cancellation point between units of work (data items under a
+// capacity, item blocks on the batched unbounded path), so deadlines
+// and cancellation abort long runs mid-schedule instead of after the
+// full D-item loop. A partial schedule is never returned; on
+// cancellation the result is the zero Schedule and the context's error.
 func (g GOMCDS) ScheduleContext(ctx context.Context, p *Problem) (cost.Schedule, error) {
 	if err := p.feasible(); err != nil {
 		return cost.Schedule{}, err
@@ -278,24 +279,59 @@ func (g GOMCDS) ScheduleContext(ctx context.Context, p *Problem) (cost.Schedule,
 	defer sp.End()
 
 	if p.Capacity <= 0 {
-		// Independent items: schedule in parallel, one solver per
-		// worker via the pool. Cancellation is checked per item; work
-		// already in flight finishes its current item, later items are
-		// skipped and the error returned.
-		pool := sync.Pool{New: func() any {
-			return costgraph.NewSolver(p.Model.Grid.Width(), p.Model.Grid.Height())
-		}}
-		parallel.ForEach(nd, func(d int) {
-			if ctx.Err() != nil {
-				return
+		// Independent items. With the sweep kernel the items are solved
+		// by the batched layer-major DP: contiguous item blocks stream
+		// through the flat residence table one window at a time, so one
+		// layer pass touches one contiguous run of table cells. With the
+		// naive kernel (a diagnostics knob) items are solved one at a
+		// time as before. Either way solvers come from the
+		// process-lifetime pool and survive across requests; cancellation
+		// is checked per item (naive) or per block (sweep) — work already
+		// in flight finishes its current unit, later units are skipped
+		// and the error returned.
+		if g.Kernel == costgraph.KernelNaive {
+			parallel.ForEach(nd, func(d int) {
+				if ctx.Err() != nil {
+					return
+				}
+				solver := costgraph.GetSolver(p.Model.Grid.Width(), p.Model.Grid.Height())
+				path := g.bestPath(p, d, nil, solver)
+				for w := 0; w < nw; w++ {
+					centers[w][d] = path[w]
+				}
+				costgraph.PutSolver(solver)
+			})
+		} else {
+			cells := p.Table.Cells()
+			blocks := runtime.GOMAXPROCS(0)
+			if blocks > nd {
+				blocks = nd
 			}
-			solver := pool.Get().(*costgraph.Solver)
-			path := g.bestPath(p, d, nil, solver)
-			pool.Put(solver)
-			for w := 0; w < nw; w++ {
-				centers[w][d] = path[w]
-			}
-		})
+			parallel.ForEach(blocks, func(b int) {
+				if ctx.Err() != nil {
+					return
+				}
+				lo, hi := b*nd/blocks, (b+1)*nd/blocks
+				solver := costgraph.GetSolver(p.Model.Grid.Width(), p.Model.Grid.Height())
+				sizes := solver.BatchSizes(hi - lo)
+				for i := range sizes {
+					sizes[i] = int64(p.Model.DataSize[lo+i])
+				}
+				totals, paths := solver.SolveBatch(cells, nw, nd, lo, hi, sizes)
+				for i := 0; i < hi-lo; i++ {
+					if totals[i] == costgraph.Inf {
+						// Feasibility was checked and nothing is forbidden
+						// without a capacity, so a blocked item is a bug.
+						panic("sched: GOMCDS found no feasible center sequence")
+					}
+					path := paths[i*nw : (i+1)*nw]
+					for w := 0; w < nw; w++ {
+						centers[w][lo+i] = path[w]
+					}
+				}
+				costgraph.PutSolver(solver)
+			})
+		}
 		if err := ctx.Err(); err != nil {
 			return cost.Schedule{}, err
 		}
@@ -306,7 +342,8 @@ func (g GOMCDS) ScheduleContext(ctx context.Context, p *Problem) (cost.Schedule,
 	for w := range trackers {
 		trackers[w] = placement.NewTracker(np, p.Capacity)
 	}
-	solver := costgraph.NewSolver(p.Model.Grid.Width(), p.Model.Grid.Height())
+	solver := costgraph.GetSolver(p.Model.Grid.Width(), p.Model.Grid.Height())
+	defer costgraph.PutSolver(solver)
 	for d := 0; d < nd; d++ {
 		if err := ctx.Err(); err != nil {
 			return cost.Schedule{}, err
@@ -333,15 +370,16 @@ func (g GOMCDS) bestPath(p *Problem, d int, trackers []*placement.Tracker, solve
 	nodeCost := solver.NodeCost(nw)
 	for w := 0; w < nw; w++ {
 		if trackers == nil {
-			nodeCost[w] = p.Table[w][d]
+			nodeCost[w] = p.Table.Row(w, d)
 			continue
 		}
 		row := nodeCost[w]
+		tableRow := p.Table.Row(w, d)
 		for c := 0; c < np; c++ {
 			if trackers[w].Capacity() > 0 && trackers[w].Used(c) >= trackers[w].Capacity() {
 				row[c] = costgraph.Inf
 			} else {
-				row[c] = p.Table[w][d][c]
+				row[c] = tableRow[c]
 			}
 		}
 	}

@@ -35,7 +35,7 @@ func bruteSingleCenter(p *Problem, d int) int64 {
 	for c := 0; c < np; c++ {
 		var total int64
 		for w := 0; w < nw; w++ {
-			total += p.Table[w][d][c]
+			total += p.Table.At(w, d, c)
 		}
 		if total < best {
 			best = total
@@ -67,7 +67,7 @@ func bruteBestSequence(p *Problem, d int) int64 {
 			return
 		}
 		for c := 0; c < np; c++ {
-			add := p.Table[w][d][c]
+			add := p.Table.At(w, d, c)
 			if w > 0 {
 				add += int64(p.Model.DataSize[d]) * int64(p.Model.Dist(seq[w-1], c))
 			}
@@ -118,7 +118,7 @@ func TestSCDSOptimalUncapacitated(t *testing.T) {
 		for d := 0; d < p.Model.NumData; d++ {
 			var got int64
 			for w := 0; w < p.Model.NumWindows(); w++ {
-				got += p.Table[w][d][s.Centers[w][d]]
+				got += p.Table.At(w, d, s.Centers[w][d])
 			}
 			if want := bruteSingleCenter(p, d); got != want {
 				t.Fatalf("iter %d item %d: SCDS cost %d, optimal %d", iter, d, got, want)
@@ -138,11 +138,11 @@ func TestLOMCDSPerWindowOptimal(t *testing.T) {
 		s := mustSchedule(t, LOMCDS{}, p)
 		for w := 0; w < p.Model.NumWindows(); w++ {
 			for d := 0; d < p.Model.NumData; d++ {
-				got := p.Table[w][d][s.Centers[w][d]]
+				got := p.Table.At(w, d, s.Centers[w][d])
 				for c := 0; c < p.Model.Grid.NumProcs(); c++ {
-					if p.Table[w][d][c] < got {
+					if p.Table.At(w, d, c) < got {
 						t.Fatalf("iter %d w%d d%d: LOMCDS chose cost %d, center %d costs %d",
-							iter, w, d, got, c, p.Table[w][d][c])
+							iter, w, d, got, c, p.Table.At(w, d, c))
 					}
 				}
 			}

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestScheduleSteadyStateAllocsBounded pins the allocation count of a
+// full in-process cache-hot Schedule call. Unlike the kernel pins this
+// cannot be zero — every request decodes its own trace text and
+// assembles its own response, both proportional to the instance — but
+// it must be a fixed bound at a fixed instance: the table build, the
+// DP scratch and the solver are all pooled or cached, so any growth
+// here means per-request garbage returned to the steady state. The
+// budget is the measured value (~1050 on this lu/8, 4x4, gomcds
+// instance) plus headroom for toolchain drift.
+func TestScheduleSteadyStateAllocsBounded(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	text := traceText(t, "lu", 8, grid.Square(4))
+	req := Request{Trace: text, Algorithm: "gomcds"}
+	ctx := context.Background()
+	if _, err := svc.Schedule(ctx, req); err != nil {
+		t.Fatal(err) // warm: builds and caches the table
+	}
+	const budget = 1400
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := svc.Schedule(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}); n > budget {
+		t.Fatalf("cache-hot Schedule allocates %v per run, budget %d", n, budget)
+	}
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/grid"
+)
+
+// Regression test: decodeBody used to stop reading at the end of the
+// first JSON value, so a body with trailing garbage — a second request
+// concatenated by a buggy client, a stray closing brace, half of a
+// corrupted upload — was accepted and the junk silently dropped. Every
+// handler must reject such bodies with 400.
+func TestDecodeBodyRejectsTrailingGarbage(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	text := traceText(t, "lu", 4, grid.Square(2))
+	valid, err := json.Marshal(Request{Trace: text, Algorithm: "scds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name, trailer string
+		want          int
+	}{
+		{"clean", "", http.StatusOK},
+		{"trailing whitespace", "\n\t \n", http.StatusOK},
+		{"stray brace", "}", http.StatusBadRequest},
+		{"second value", string(valid), http.StatusBadRequest},
+		{"garbage", "xxxx", http.StatusBadRequest},
+	} {
+		body := string(valid) + tc.trailer
+		resp, err := ts.Client().Post(ts.URL+"/schedule", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// The session endpoints share decodeBody; spot-check one.
+	resp, err := ts.Client().Post(ts.URL+"/session", "application/json",
+		strings.NewReader(`{"trace":"bogus","algorithm":"scds"} trailing`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("session create with trailing data: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// Regression test: writeJSON used to call WriteHeader before encoding,
+// so a value the encoder rejects produced a 200 status line with a
+// truncated (empty) body. Encoding now happens first: failures become a
+// clean 500 with a JSON error body, and successes carry Content-Length.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, make(chan int)) // channels cannot marshal
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d after encode failure, want 500", rec.Code)
+	}
+	if msg := decodeError(t, rec.Body.Bytes()); !strings.Contains(msg, "encode response") {
+		t.Fatalf("error %q does not mention the encode failure", msg)
+	}
+}
+
+func TestWriteJSONSetsContentLength(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusCreated, map[string]int{"a": 1})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status %d, want 201", rec.Code)
+	}
+	if got, want := rec.Header().Get("Content-Length"), len(rec.Body.Bytes()); got != itoa(want) {
+		t.Fatalf("Content-Length %q, body is %d bytes", got, want)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["a"] != 1 {
+		t.Fatalf("body %q did not round-trip: %v", rec.Body.Bytes(), err)
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// newSessionForRace builds a service with one live session over a small
+// incremental-path trace and returns both plus a ready-to-apply delta.
+func newSessionForRace(t testing.TB, cfg Config) (*Service, string, delta.Delta) {
+	t.Helper()
+	svc := New(cfg)
+	text := traceText(t, "lu", 4, grid.Square(2))
+	info, err := svc.CreateSession(CreateSessionRequest{Trace: text, Algorithm: "gomcds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, info.SessionID, delta.AppendWindow([]delta.Ref{{Proc: 0, Data: 1, Volume: 2}})
+}
+
+// Regression test: an operation that looked its session up and then
+// lost the race to a concurrent DELETE used to proceed against the
+// unregistered session and report success — the client of a deleted
+// session saw its deltas acknowledged into state the service had
+// already dropped. The deterministic interleaving (delete exactly in
+// the lookup/lock window, via the test hook) must now yield a clean
+// session-not-found, and the delta must not be counted as applied.
+func TestSessionOpRacingDeleteGets404(t *testing.T) {
+	svc, id, d := newSessionForRace(t, Config{})
+	defer svc.Close()
+
+	var once sync.Once
+	svc.testHookSessionOp = func() {
+		once.Do(func() {
+			if err := svc.DeleteSession(id); err != nil {
+				t.Errorf("racing delete: %v", err)
+			}
+		})
+	}
+	_, err := svc.ApplySessionDelta(id, d)
+	var notFound *ErrSessionNotFound
+	if !errors.As(err, &notFound) {
+		t.Fatalf("delta racing delete returned %v, want session-not-found", err)
+	}
+	if n := svc.Stats().DeltasApplied; n != 0 {
+		t.Fatalf("deltas_applied = %d after a delta that lost to DELETE, want 0", n)
+	}
+	if n := svc.sessionCount(); n != 0 {
+		t.Fatalf("sessions_active = %d after delete, want 0", n)
+	}
+}
+
+// The same race end to end under the race detector, unsynchronized:
+// deltas, schedules and info reads hammer a session while it is
+// deleted; every operation must either succeed (it won the race) or
+// report session-not-found, the active-session gauge must end at zero
+// (never negative — len of a map can only misbehave through double
+// accounting, which a second DELETE exercises directly), and the
+// MaxSessions slot must be released exactly once so a new session fits.
+func TestSessionDeleteRaceStress(t *testing.T) {
+	svc, id, d := newSessionForRace(t, Config{MaxSessions: 1})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				checkRaceErr(t, "delta", func() error { _, err := svc.ApplySessionDelta(id, d); return err })
+				checkRaceErr(t, "schedule", func() error { _, err := svc.ScheduleSession(id); return err })
+				checkRaceErr(t, "info", func() error { _, err := svc.SessionInfo(id); return err })
+			}
+		}()
+	}
+	if err := svc.DeleteSession(id); err != nil {
+		t.Errorf("delete: %v", err)
+	}
+	var notFound *ErrSessionNotFound
+	if err := svc.DeleteSession(id); !errors.As(err, &notFound) {
+		t.Errorf("second delete returned %v, want session-not-found", err)
+	}
+	wg.Wait()
+
+	if n := svc.sessionCount(); n != 0 {
+		t.Fatalf("sessions_active = %d after delete, want 0", n)
+	}
+	// The slot freed by the delete admits a new session under MaxSessions=1.
+	text := traceText(t, "lu", 4, grid.Square(2))
+	if _, err := svc.CreateSession(CreateSessionRequest{Trace: text, Algorithm: "gomcds"}); err != nil {
+		t.Fatalf("create after delete under MaxSessions=1: %v", err)
+	}
+}
+
+func checkRaceErr(t *testing.T, op string, fn func() error) {
+	t.Helper()
+	err := fn()
+	if err == nil {
+		return
+	}
+	var notFound *ErrSessionNotFound
+	if !errors.As(err, &notFound) {
+		t.Errorf("%s racing delete: %v, want nil or session-not-found", op, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/cost"
 	"repro/internal/grid"
 	"repro/internal/trace"
 )
@@ -27,7 +28,7 @@ func TestTableCacheTinyCapacitySingleflights(t *testing.T) {
 		if !builder {
 			t.Fatalf("max=%d: first acquire did not elect a builder", max)
 		}
-		c.publish(e, nil, nil)
+		c.publish(e, nil, cost.ResidenceTable{})
 		for i := 0; i < 3; i++ {
 			e2, builder := c.acquire(fpN(1))
 			if builder {
@@ -79,7 +80,7 @@ func TestTableCacheNeverEvictsJustInserted(t *testing.T) {
 		if _, ok := c.items[fpN(n)]; !ok {
 			t.Fatalf("fingerprint %d: just-inserted entry already evicted", n)
 		}
-		c.publish(e, nil, nil)
+		c.publish(e, nil, cost.ResidenceTable{})
 	}
 	if _, _, _, evictions, entries := c.counters(); entries != 1 || evictions != 3 {
 		t.Fatalf("entries=%d evictions=%d, want 1 entry and 3 evictions of older entries", entries, evictions)

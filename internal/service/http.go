@@ -1,11 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/delta"
 )
@@ -82,21 +86,55 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeBody decodes a size-bounded JSON request body into v, writing
-// the error response itself on failure.
+// the error response itself on failure. The body must be exactly one
+// JSON value: trailing non-whitespace after it (a second value, a stray
+// brace, a concatenated request) is a 400, not silently ignored. The
+// read buffer comes from the shared pool, so steady-state decodes do
+// not grow the heap.
 func (s *Service) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	buf := getBuffer()
+	defer putBuffer(buf)
+	if _, err := buf.ReadFrom(body); err != nil {
 		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		httpError(w, status, "decode request: "+err.Error())
+		httpError(w, status, "read request: "+err.Error())
+		return false
+	}
+	dec := json.NewDecoder(buf)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return false
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "decode request: unexpected data after JSON body")
 		return false
 	}
 	return true
+}
+
+// bufferPool holds the scratch buffers behind request decoding and
+// response encoding. Buffers that grew past maxPooledBuffer (one
+// pathological request) are dropped instead of pinning their backing
+// array for the process lifetime.
+var bufferPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuffer = 1 << 20
+
+func getBuffer() *bytes.Buffer {
+	return bufferPool.Get().(*bytes.Buffer)
+}
+
+func putBuffer(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufferPool.Put(b)
 }
 
 // sessionError maps the session API's error classes onto statuses.
@@ -192,12 +230,40 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// writeJSON encodes v into a pooled buffer first, so an encode failure
+// becomes a clean 500 instead of a 200 status line followed by a
+// truncated body (WriteHeader is only called once the bytes to back it
+// exist). Successful responses carry Content-Length, letting clients
+// detect a connection cut mid-body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := getBuffer()
+	defer putBuffer(buf)
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) // nothing useful to do with a write error mid-response
+	if err := enc.Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		// A static body cannot itself fail to encode.
+		io.WriteString(w, `{"error":"service: encode response: `+jsonSafe(err.Error())+`"}`+"\n")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes()) // nothing useful to do with a write error mid-response
+}
+
+// jsonSafe strips characters that would break a hand-assembled JSON
+// string literal out of an error message.
+func jsonSafe(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '"' || r == '\\' || r < 0x20 {
+			r = ' '
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

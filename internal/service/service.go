@@ -211,6 +211,12 @@ type Service struct {
 	// claimed its concurrency slot and before any heavy work; tests use
 	// it to hold a request in-flight deterministically.
 	testHookRunning func()
+
+	// testHookSessionOp, when set, is called by session operations
+	// between the registry lookup and taking the entry's operation
+	// lock; tests use it to interleave a DELETE into that window
+	// deterministically.
+	testHookSessionOp func()
 }
 
 // New returns a Service with the given configuration.

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/delta"
@@ -69,11 +70,20 @@ type SessionScheduleResponse struct {
 	ElapsedUS        int64    `json:"elapsed_us"`
 }
 
-// sessionEntry pairs a session with its service-assigned ID.
+// sessionEntry pairs a session with its service-assigned ID. opMu and
+// closed fence session operations against deletion: an operation holds
+// opMu for its whole session access, and DeleteSession marks the entry
+// closed under the same lock after unregistering it, so a request that
+// lost the race to a concurrent DELETE observes closed and reports 404
+// instead of operating on (and reporting success against) a session
+// the service no longer owns.
 type sessionEntry struct {
 	id   string
 	sess *delta.Session
 	grid string
+
+	opMu   sync.Mutex
+	closed bool
 }
 
 func (c Config) maxSessions() int {
@@ -128,10 +138,10 @@ func (s *Service) CreateSession(req CreateSessionRequest) (*SessionInfo, error) 
 	}
 	s.sessions[id] = &sessionEntry{id: id, sess: sess, grid: tr.Grid.String()}
 	s.sessionsCreated.Add(1)
-	return s.sessionInfoLocked(s.sessions[id]), nil
+	return s.sessionInfo(s.sessions[id]), nil
 }
 
-func (s *Service) sessionInfoLocked(e *sessionEntry) *SessionInfo {
+func (s *Service) sessionInfo(e *sessionEntry) *SessionInfo {
 	return &SessionInfo{
 		SessionID:   e.id,
 		Algorithm:   e.sess.Algorithm(),
@@ -157,75 +167,116 @@ func (s *Service) lookupSession(id string) (*sessionEntry, error) {
 	return e, nil
 }
 
-// SessionInfo returns the current description of a session.
-func (s *Service) SessionInfo(id string) (*SessionInfo, error) {
+// withSession runs fn holding the entry's operation lock, after
+// re-checking that a concurrent DeleteSession did not close the entry
+// between the registry lookup and the lock acquisition. The registry
+// lock is never held across fn, so session work does not serialize
+// unrelated requests; operations on one session serialize with each
+// other and with its deletion.
+func (s *Service) withSession(id string, fn func(e *sessionEntry) error) error {
 	e, err := s.lookupSession(id)
 	if err != nil {
+		return err
+	}
+	if s.testHookSessionOp != nil {
+		s.testHookSessionOp()
+	}
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	if e.closed {
+		return &ErrSessionNotFound{ID: id}
+	}
+	return fn(e)
+}
+
+// SessionInfo returns the current description of a session.
+func (s *Service) SessionInfo(id string) (*SessionInfo, error) {
+	var info *SessionInfo
+	if err := s.withSession(id, func(e *sessionEntry) error {
+		info = s.sessionInfo(e)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessionInfoLocked(e), nil
+	return info, nil
 }
 
 // ApplySessionDelta applies one delta to a session. Deltas on one
 // session are serialized in arrival order; the returned sequence number
 // is the delta's position in that order.
 func (s *Service) ApplySessionDelta(id string, d delta.Delta) (*DeltaResponse, error) {
-	e, err := s.lookupSession(id)
-	if err != nil {
+	var resp *DeltaResponse
+	if err := s.withSession(id, func(e *sessionEntry) error {
+		res, err := e.sess.Apply(d)
+		if err != nil {
+			return &RequestError{Err: err}
+		}
+		s.deltasApplied.Add(1)
+		resp = &DeltaResponse{
+			SessionID:   id,
+			Seq:         res.Seq,
+			Fingerprint: res.Fingerprint.String(),
+			NumWindows:  res.NumWindows,
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	res, err := e.sess.Apply(d)
-	if err != nil {
-		return nil, &RequestError{Err: err}
-	}
-	s.deltasApplied.Add(1)
-	return &DeltaResponse{
-		SessionID:   id,
-		Seq:         res.Seq,
-		Fingerprint: res.Fingerprint.String(),
-		NumWindows:  res.NumWindows,
-	}, nil
+	return resp, nil
 }
 
 // ScheduleSession computes (or serves from the session's cache) the
 // schedule of a session's current trace.
 func (s *Service) ScheduleSession(id string) (*SessionScheduleResponse, error) {
-	e, err := s.lookupSession(id)
-	if err != nil {
+	var resp *SessionScheduleResponse
+	if err := s.withSession(id, func(e *sessionEntry) error {
+		start := time.Now()
+		res, err := e.sess.Schedule()
+		if err != nil {
+			return &RequestError{Err: err} // infeasible capacity etc.
+		}
+		resp = &SessionScheduleResponse{
+			SessionID:        id,
+			Algorithm:        e.sess.Algorithm(),
+			Seq:              e.sess.Seq(),
+			NumWindows:       len(res.Schedule.Centers),
+			Centers:          res.Schedule.Centers,
+			Cost:             CostJSON{Residence: res.Cost.Residence, Move: res.Cost.Move, Total: res.Cost.Total()},
+			Fingerprint:      e.sess.Fingerprint().String(),
+			LayersRecomputed: res.LayersRecomputed,
+			Cached:           res.Cached,
+			ElapsedUS:        time.Since(start).Microseconds(),
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	res, err := e.sess.Schedule()
-	if err != nil {
-		return nil, &RequestError{Err: err} // infeasible capacity etc.
-	}
-	return &SessionScheduleResponse{
-		SessionID:        id,
-		Algorithm:        e.sess.Algorithm(),
-		Seq:              e.sess.Seq(),
-		NumWindows:       len(res.Schedule.Centers),
-		Centers:          res.Schedule.Centers,
-		Cost:             CostJSON{Residence: res.Cost.Residence, Move: res.Cost.Move, Total: res.Cost.Total()},
-		Fingerprint:      e.sess.Fingerprint().String(),
-		LayersRecomputed: res.LayersRecomputed,
-		Cached:           res.Cached,
-		ElapsedUS:        time.Since(start).Microseconds(),
-	}, nil
+	return resp, nil
 }
 
-// DeleteSession removes a session, freeing its table and DP state.
+// DeleteSession removes a session, freeing its table and DP state. The
+// entry leaves the registry first (releasing its MaxSessions slot
+// exactly once — a second DELETE no longer finds it), then is closed
+// under its operation lock, which waits out any operation that found
+// the entry before it left the map; an operation still between lookup
+// and lock acquisition observes closed and reports 404.
 func (s *Service) DeleteSession(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := s.sessions[id]; !ok {
+	e, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
 		return &ErrSessionNotFound{ID: id}
 	}
 	delete(s.sessions, id)
+	s.mu.Unlock()
+
+	e.opMu.Lock()
+	e.closed = true
+	e.opMu.Unlock()
 	return nil
 }
 

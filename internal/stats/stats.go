@@ -61,7 +61,7 @@ func Compute(p *sched.Problem, s cost.Schedule) ScheduleStats {
 		for d := 0; d < nd; d++ {
 			c := s.Centers[w][d]
 			occupancy[c]++
-			out.PerWindowResidence[w] += p.Table[w][d][c]
+			out.PerWindowResidence[w] += p.Table.At(w, d, c)
 			for proc, v := range counts[w][d] {
 				if v == 0 {
 					continue

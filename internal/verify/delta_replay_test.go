@@ -60,15 +60,17 @@ func checkAgainstReplay(t *testing.T, s *delta.Session, shadow *trace.Trace, sch
 	m := cost.NewModel(shadow)
 	fullTable := m.BuildResidenceTable()
 	table := s.Table()
-	if len(table) != len(fullTable) {
-		t.Fatalf("%s: session table has %d windows, full rebuild %d", context, len(table), len(fullTable))
+	if table.NumWindows() != fullTable.NumWindows() {
+		t.Fatalf("%s: session table has %d windows, full rebuild %d",
+			context, table.NumWindows(), fullTable.NumWindows())
 	}
-	for w := range fullTable {
-		for d := range fullTable[w] {
-			for c := range fullTable[w][d] {
-				if table[w][d][c] != fullTable[w][d][c] {
+	for w := 0; w < fullTable.NumWindows(); w++ {
+		for d := 0; d < fullTable.NumData(); d++ {
+			pr, fr := table.Row(w, d), fullTable.Row(w, d)
+			for c := range fr {
+				if pr[c] != fr[c] {
 					t.Fatalf("%s: patched R[%d][%d][%d] = %d, full rebuild gives %d",
-						context, w, d, c, table[w][d][c], fullTable[w][d][c])
+						context, w, d, c, pr[c], fr[c])
 				}
 			}
 		}

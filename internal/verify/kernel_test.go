@@ -44,14 +44,15 @@ func checkKernelsAgree(t *testing.T, tr *trace.Trace, label string) {
 	nw, nd, np := m.NumWindows(), m.NumData, m.Grid.NumProcs()
 	for w := 0; w < nw; w++ {
 		for d := 0; d < nd; d++ {
+			fr, nr := fast.Row(w, d), naive.Row(w, d)
 			for c := 0; c < np; c++ {
-				if fast[w][d][c] != naive[w][d][c] {
+				if fr[c] != nr[c] {
 					t.Fatalf("%s: kernel divergence at [%d][%d][%d]: separable %d, naive %d",
-						label, w, d, c, fast[w][d][c], naive[w][d][c])
+						label, w, d, c, fr[c], nr[c])
 				}
-				if want := residenceFromTrace(tr, w, trace.DataID(d), c); fast[w][d][c] != want {
+				if want := residenceFromTrace(tr, w, trace.DataID(d), c); fr[c] != want {
 					t.Fatalf("%s: cell [%d][%d][%d] = %d, referee recomputation gives %d",
-						label, w, d, c, fast[w][d][c], want)
+						label, w, d, c, fr[c], want)
 				}
 			}
 		}
@@ -63,7 +64,7 @@ func checkKernelsAgree(t *testing.T, tr *trace.Trace, label string) {
 			for c := 0; c < np; c++ {
 				var want int64
 				for w := 0; w < nw; w++ {
-					want += naive[w][d][c]
+					want += naive.At(w, d, c)
 				}
 				if agg[d][c] != want {
 					t.Fatalf("%s: %v aggregate[%d][%d] = %d, per-window sum gives %d",

@@ -71,8 +71,9 @@ func newPerData(p *sched.Problem, d int) *perData {
 	vol := make([]int64, nw+1)
 	for w := 0; w < nw; w++ {
 		row := make([]int64, np)
+		tr := p.Table.Row(w, d)
 		for c := 0; c < np; c++ {
-			row[c] = pre[w][c] + p.Table[w][d][c]
+			row[c] = pre[w][c] + tr[c]
 		}
 		pre[w+1] = row
 		vol[w+1] = vol[w]

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Kernel benchmark snapshots and drift guards.
 #
-# Snapshot mode (default): runs the three headline comparisons —
+# Snapshot mode (default): runs the four headline comparisons —
 # BenchmarkResidenceKernel (separable prefix-sum residence kernel vs
 # naive per-cell kernel, 16x16 array), BenchmarkShortestLayeredPath
 # + BenchmarkGOMCDS (separable min-plus sweep DP vs dense O(P²)
-# relaxation, 16x16 array), and BenchmarkDeltaApply (incremental
-# session rescheduling one edited window vs a from-scratch rebuild,
-# 16x16 array, 64 windows) — prints the raw benchstat-compatible
-# output, and records ns/op plus the speedups in BENCH_RESIDENCE.json,
-# BENCH_SCHED.json and BENCH_DELTA.json. Compare two runs with:
+# relaxation, 16x16 array), BenchmarkDeltaApply (incremental session
+# rescheduling one edited window vs a from-scratch rebuild, 16x16
+# array, 64 windows), and the service hot path (BenchmarkServeSchedule
+# closed-loop p50/p99 latency and allocs/op, plus the zero-alloc
+# kernels BenchmarkResidenceRow and BenchmarkSolveBatch/batch, which
+# FAIL the snapshot if they ever allocate) — prints the raw
+# benchstat-compatible output, and records the metrics in
+# BENCH_RESIDENCE.json, BENCH_SCHED.json, BENCH_DELTA.json and
+# BENCH_SERVE.json. Compare two runs with:
 #
 #	scripts/bench.sh > old.txt   # on the baseline commit
 #	scripts/bench.sh > new.txt
@@ -42,10 +46,10 @@ fi
 
 FACTOR="${BENCH_DRIFT_FACTOR:-2.0}"
 
-# check_drift SNAPSHOT_FILE KEY FRESH_SUMMARY — compare one ns/op
-# metric between a fresh summary and the committed snapshot.
+# check_drift SNAPSHOT_FILE KEY FRESH_SUMMARY [UNIT] — compare one
+# numeric metric between a fresh summary and the committed snapshot.
 check_drift() {
-	local file="$1" key="$2" summary="$3"
+	local file="$1" key="$2" summary="$3" unit="${4:-ns/op}"
 	if [ ! -f "$file" ]; then
 		echo "bench.sh --check: no $file snapshot to compare against" >&2
 		exit 1
@@ -58,10 +62,10 @@ check_drift() {
 		exit 1
 	fi
 	echo
-	echo "bench.sh --check: $key fresh ${fresh} ns/op vs snapshot ${base} ns/op (allowed ${FACTOR}x)"
-	awk -v fresh="$fresh" -v base="$base" -v factor="$FACTOR" -v key="$key" 'BEGIN {
+	echo "bench.sh --check: $key fresh ${fresh} ${unit} vs snapshot ${base} ${unit} (allowed ${FACTOR}x)"
+	awk -v fresh="$fresh" -v base="$base" -v factor="$FACTOR" -v key="$key" -v unit="$unit" 'BEGIN {
 		if (fresh > base * factor) {
-			printf "bench.sh --check: REGRESSION in %s: %.0f ns/op > %.2f x %.0f ns/op\n", key, fresh, factor, base > "/dev/stderr"
+			printf "bench.sh --check: REGRESSION in %s: %.0f %s > %.2f x %.0f %s\n", key, fresh, unit, factor, base, unit > "/dev/stderr"
 			exit 1
 		}
 		printf "bench.sh --check: ok (%.2fx of snapshot)\n", fresh / base
@@ -157,16 +161,80 @@ END {
 	printf "}\n"
 }')"
 
+echo
+echo "== service hot path =="
+RAW_SERVE="$(go test -run '^$' -bench '^(BenchmarkServeSchedule|BenchmarkResidenceRow|BenchmarkSolveBatch)$' -benchmem -count "$COUNT" .)"
+echo "$RAW_SERVE"
+
+# Custom metrics (p50-us/p99-us) and allocs/op sit at varying field
+# positions, so the awk scans each line for the unit token and takes
+# the value before it. The two zero-alloc kernels are hard gates: a
+# single allocation per op fails the run, snapshot mode included.
+SERVE_SUMMARY="$(echo "$RAW_SERVE" | awk -v count="$COUNT" '
+function metric(unit,   i) {
+	for (i = 2; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return 0
+}
+/^BenchmarkServeSchedule\/hot/ {
+	hot += $3; hp50 += metric("p50-us"); hp99 += metric("p99-us")
+	hal += metric("allocs/op"); nhot++
+}
+/^BenchmarkServeSchedule\/parallel/ {
+	par += $3; pal += metric("allocs/op"); npar++
+}
+/^BenchmarkResidenceRow/    { rr += $3; rra += metric("allocs/op"); nrr++ }
+/^BenchmarkSolveBatch\/batch/ { sb += $3; sba += metric("allocs/op"); nsb++ }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+END {
+	if (nhot == 0 || npar == 0 || nrr == 0 || nsb == 0) {
+		print "bench.sh: no service benchmark samples parsed" > "/dev/stderr"
+		exit 1
+	}
+	if (rra > 0 || sba > 0) {
+		printf "bench.sh: zero-alloc kernel regressed: ResidenceRow %.0f allocs, SolveBatch/batch %.0f allocs (want 0)\n", \
+			rra / nrr, sba / nsb > "/dev/stderr"
+		exit 1
+	}
+	hot /= nhot; hp50 /= nhot; hp99 /= nhot; hal /= nhot
+	par /= npar; pal /= npar; rr /= nrr; sb /= nsb
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkServeSchedule\",\n"
+	printf "  \"instance\": \"lu/16 on 4x4, gomcds, cache-hot\",\n"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"count\": %d,\n", count
+	printf "  \"hot_ns_per_op\": %.0f,\n", hot
+	printf "  \"hot_p50_us\": %.0f,\n", hp50
+	printf "  \"hot_p99_us\": %.0f,\n", hp99
+	printf "  \"hot_allocs_per_op\": %.0f,\n", hal
+	printf "  \"parallel_ns_per_op\": %.0f,\n", par
+	printf "  \"parallel_allocs_per_op\": %.0f,\n", pal
+	printf "  \"residence_row_ns_per_op\": %.0f,\n", rr
+	printf "  \"residence_row_allocs_per_op\": 0,\n"
+	printf "  \"solve_batch_ns_per_op\": %.0f,\n", sb
+	printf "  \"solve_batch_allocs_per_op\": 0\n"
+	printf "}\n"
+}')"
+
 if [ "$CHECK" = 1 ]; then
 	check_drift BENCH_RESIDENCE.json separable_ns_per_op "$RES_SUMMARY"
 	check_drift BENCH_SCHED.json sweep_ns_per_op "$SCHED_SUMMARY"
 	check_drift BENCH_SCHED.json gomcds_sweep_ns_per_op "$SCHED_SUMMARY"
 	check_drift BENCH_DELTA.json incremental_ns_per_op "$DELTA_SUMMARY"
+	check_drift BENCH_SERVE.json hot_ns_per_op "$SERVE_SUMMARY"
+	check_drift BENCH_SERVE.json hot_p99_us "$SERVE_SUMMARY" us
+	check_drift BENCH_SERVE.json hot_allocs_per_op "$SERVE_SUMMARY" allocs/op
 else
 	echo "$RES_SUMMARY" > BENCH_RESIDENCE.json
 	echo "$SCHED_SUMMARY" > BENCH_SCHED.json
 	echo "$DELTA_SUMMARY" > BENCH_DELTA.json
+	echo "$SERVE_SUMMARY" > BENCH_SERVE.json
 	echo
-	echo "bench.sh: wrote BENCH_RESIDENCE.json, BENCH_SCHED.json and BENCH_DELTA.json"
-	cat BENCH_RESIDENCE.json BENCH_SCHED.json BENCH_DELTA.json
+	echo "bench.sh: wrote BENCH_RESIDENCE.json, BENCH_SCHED.json, BENCH_DELTA.json and BENCH_SERVE.json"
+	cat BENCH_RESIDENCE.json BENCH_SCHED.json BENCH_DELTA.json BENCH_SERVE.json
 fi

@@ -38,6 +38,26 @@ echo "== delta replay referee (-race) =="
 go test -race -run '^TestDeltaReplayAgrees$' ./internal/verify
 go test -race -run '^TestHTTPSessionConcurrentClients$' ./internal/service
 
+# Hot-path allocation pins: the steady-state kernels (residence-row
+# pricing, batched sweep DP, resumable DP, session delta patch) must be
+# exactly zero allocs/op, and the cache-hot full-service Schedule call
+# must stay inside its fixed budget. They already ran under ./... above;
+# this named gate re-runs them without the race runtime so the pins
+# measure the production allocator, and survives narrower invocations.
+echo "== allocation pins (no race) =="
+go test -run '^(TestSolveBatchZeroAlloc|TestSolveFromIntoZeroAlloc)$' -v ./internal/costgraph
+go test -run '^(TestResidenceRowIntoZeroAlloc|TestPatchEditItemZeroAlloc|TestPatchRemoveWindowZeroAlloc)$' -v ./internal/cost
+go test -run '^(TestApplyEditItemZeroAlloc|TestScheduleIncrementalSuffixResumeAllocs)$' -v ./internal/delta
+go test -run '^TestScheduleSteadyStateAllocsBounded$' -v ./internal/service
+
+# Session-lifecycle race gates: an in-flight op racing DELETE
+# /session/{id} must end in a clean 404 with the sessions gauge and the
+# MaxSessions slot settling exactly once. The stress variant hammers
+# the interleaving under the race detector; the deterministic variant
+# uses the service's test hook to force the narrow window.
+echo "== session delete race gates (-race) =="
+go test -race -run '^(TestSessionOpRacingDeleteGets404|TestSessionDeleteRaceStress)$' ./internal/service
+
 # Metrics scrape gate: boot a real pimserve, issue one schedule request,
 # and scrape /metrics, failing unless the expected series are present.
 # This exercises the full observability path (registry wiring, stage
