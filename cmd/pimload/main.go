@@ -1,0 +1,212 @@
+// Command pimload drives a pimserve shard or a pimrouter fleet with a
+// closed loop of scheduling requests and reports latency percentiles.
+// Each of -concurrency workers keeps exactly one request in flight
+// (closed-loop: offered load adapts to service speed, so the report
+// measures the service, not a queue), cycling through -traces distinct
+// generated traces so cache behaviour is realistic.
+//
+//	pimload -url http://localhost:8080 -requests 2000 -concurrency 8 -traces 12
+//	pimload -url http://localhost:8080 -requests 500 -batch 50
+//
+// With -batch N each request is a POST /schedule/batch carrying N
+// specs for one trace; otherwise requests are single POST /schedule
+// calls. Shed responses (503/429) are retried with backoff and counted
+// separately — only non-retryable failures count as errors, and any
+// error fails the run. The report is one JSON object on stdout,
+// suitable for scripts/loadtest.sh and BENCH_CLUSTER.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/service"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimload:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON document pimload prints: counts, throughput, and
+// latency percentiles over successful requests.
+type Report struct {
+	URL         string  `json:"url"`
+	Requests    int     `json:"requests"`
+	Specs       int     `json:"specs"`
+	Batch       int     `json:"batch"`
+	Concurrency int     `json:"concurrency"`
+	Traces      int     `json:"traces"`
+	ShedRetries uint64  `json:"shed_retries"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	RequestsPS  float64 `json:"requests_per_s"`
+	SpecsPS     float64 `json:"specs_per_s"`
+	P50US       int64   `json:"p50_us"`
+	P90US       int64   `json:"p90_us"`
+	P99US       int64   `json:"p99_us"`
+	MaxUS       int64   `json:"max_us"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pimload", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "base URL of a pimserve or pimrouter instance")
+	requests := fs.Int("requests", 1000, "total requests to issue")
+	concurrency := fs.Int("concurrency", 8, "closed-loop workers, one request in flight each")
+	traces := fs.Int("traces", 8, "distinct traces to cycle through (the generator yields 12 distinct shapes before repeating)")
+	batch := fs.Int("batch", 0, "specs per /schedule/batch request; <=1 sends single /schedule calls")
+	algorithm := fs.String("algorithm", "scds", "scheduling algorithm for every spec")
+	capacity := fs.Int("capacity", 0, "per-processor capacity for every spec; 0 = uncapacitated")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests <= 0 || *concurrency <= 0 || *traces <= 0 {
+		return fmt.Errorf("-requests, -concurrency, and -traces must be positive")
+	}
+
+	bodies, err := buildBodies(*traces, *batch, *algorithm, *capacity)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{
+		Timeout:   *timeout,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency},
+	}
+	path := *url + "/schedule"
+	if *batch > 1 {
+		path = *url + "/schedule/batch"
+	}
+
+	latencies := make([]int64, *requests)
+	var next, shed atomic.Uint64
+	errc := make(chan error, *concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= *requests {
+					return
+				}
+				t0 := time.Now()
+				if err := post(client, path, bodies[n%len(bodies)], &shed); err != nil {
+					errc <- fmt.Errorf("request %d: %w", n, err)
+					return
+				}
+				latencies[n] = time.Since(t0).Microseconds()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+
+	specsPer := 1
+	if *batch > 1 {
+		specsPer = *batch
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	report := Report{
+		URL:         *url,
+		Requests:    *requests,
+		Specs:       *requests * specsPer,
+		Batch:       *batch,
+		Concurrency: *concurrency,
+		Traces:      *traces,
+		ShedRetries: shed.Load(),
+		ElapsedS:    elapsed.Seconds(),
+		RequestsPS:  float64(*requests) / elapsed.Seconds(),
+		SpecsPS:     float64(*requests*specsPer) / elapsed.Seconds(),
+		P50US:       pct(0.50),
+		P90US:       pct(0.90),
+		P99US:       pct(0.99),
+		MaxUS:       latencies[len(latencies)-1],
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// buildBodies pre-marshals one request body per distinct trace so the
+// measurement loop does no generation or encoding work.
+func buildBodies(traces, batch int, algorithm string, capacity int) ([][]byte, error) {
+	gen, err := workload.ByName("lu")
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, traces)
+	for i := range bodies {
+		var buf bytes.Buffer
+		if err := trace.Encode(&buf, gen.Generate(3+i%6, grid.Square(2+(i/6)%2))); err != nil {
+			return nil, err
+		}
+		if batch > 1 {
+			specs := make([]service.BatchSpec, batch)
+			for j := range specs {
+				specs[j] = service.BatchSpec{Algorithm: algorithm, Capacity: capacity}
+			}
+			bodies[i], err = json.Marshal(service.BatchRequest{Trace: buf.String(), Requests: specs})
+		} else {
+			bodies[i], err = json.Marshal(service.Request{Trace: buf.String(), Algorithm: algorithm, Capacity: capacity})
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return bodies, nil
+}
+
+// post issues one request, retrying shed-class responses (503 with an
+// empty ring mid-churn, 429 under overload) with backoff. Any other
+// non-200 is a hard error carrying the response body.
+func post(client *http.Client, url string, body []byte, shed *atomic.Uint64) error {
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			shed.Add(1)
+			time.Sleep(time.Duration(10+attempt*5) * time.Millisecond)
+		default:
+			return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+	return fmt.Errorf("still shed after 50 attempts")
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func TestRunSinglesAndBatchesAgainstRealService(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{
+		"-url", ts.URL, "-requests", "40", "-concurrency", "4", "-traces", "5",
+	}, &out); err != nil {
+		t.Fatalf("singles run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 40 || rep.Specs != 40 || rep.P50US <= 0 || rep.P99US < rep.P50US {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+
+	out.Reset()
+	if err := run([]string{
+		"-url", ts.URL, "-requests", "10", "-concurrency", "2", "-traces", "3", "-batch", "20",
+	}, &out); err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Specs != 200 || rep.Batch != 20 {
+		t.Fatalf("batch report: %+v", rep)
+	}
+
+	// The generator is deterministic, so the batch run's 3 trace shapes
+	// are a subset of the singles run's 5: the service must have built
+	// exactly 5 tables across both runs, everything else cache hits.
+	if st := svc.Stats(); st.TablesBuilt != 5 {
+		t.Fatalf("tables_built = %d, want 5 distinct traces", st.TablesBuilt)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if err := run([]string{"-requests", "0"}, io.Discard); err == nil {
+		t.Fatal("run accepted zero requests")
+	}
+	if err := run([]string{"-url", "http://127.0.0.1:1", "-requests", "1", "-concurrency", "1", "-timeout", "1s"}, io.Discard); err == nil {
+		t.Fatal("run reported success against a dead server")
+	}
+}

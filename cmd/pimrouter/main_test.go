@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/grid"
+	"repro/internal/service"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// syncBuffer makes the server's log writer safe to read while serve is
+// still running in another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestParseBackends(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{"localhost:8081", []string{"http://localhost:8081"}, false},
+		{"localhost:8081, localhost:8082", []string{"http://localhost:8081", "http://localhost:8082"}, false},
+		{"http://a:1,https://b:2", []string{"http://a:1", "https://b:2"}, false},
+		{"", nil, true},
+		{" , ", nil, true},
+		{"ftp://a:1", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseBackends(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("parseBackends(%q): err = %v, want err %v", c.in, err, c.err)
+		}
+		if err == nil && !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("parseBackends(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if err := run(context.Background(), nil, io.Discard); err == nil {
+		t.Fatal("run accepted a missing -backends")
+	}
+	if err := run(context.Background(), []string{
+		"-backends", "localhost:1", "-addr", "256.0.0.1:bad",
+	}, io.Discard); err == nil {
+		t.Fatal("run accepted an unlistenable address")
+	}
+}
+
+// TestServeRoutesToBackends boots two real service backends and drives
+// a schedule request and the router's observability surfaces through
+// serve, then shuts down gracefully.
+func TestServeRoutesToBackends(t *testing.T) {
+	var backends []string
+	for i := 0; i < 2; i++ {
+		svc := service.New(service.Config{})
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() { ts.Close(); svc.Close() })
+		backends = append(backends, ts.URL)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve(ctx, ln, cluster.RouterConfig{
+			Backends:       backends,
+			PeerFill:       true,
+			HealthInterval: -1,
+		}, 5*time.Second, out)
+	}()
+
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	var traceBuf bytes.Buffer
+	gen, err := workload.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Encode(&traceBuf, gen.Generate(6, grid.Square(2))); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(service.Request{Trace: traceBuf.String(), Algorithm: "scds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: status %d: %s", resp.StatusCode, data)
+	}
+	var sr service.Response
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Centers) == 0 {
+		t.Fatalf("incomplete response: %+v", sr)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "pim_router_requests_total 1") {
+		t.Fatalf("metrics missing router request counter:\n%s", metrics)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	log := out.String()
+	for _, want := range []string{"listening on", "shutting down", "drained"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log %q missing %q", log, want)
+		}
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

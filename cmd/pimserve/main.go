@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -56,6 +57,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cacheSize := fs.Int("cache", service.DefaultCacheSize, "residence-table cache entries")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 = none")
 	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "request body limit in bytes")
+	maxBatch := fs.Int("max-batch", service.DefaultMaxBatchSpecs, "max specs per /schedule/batch request")
+	peerFill := fs.Bool("peer-fill", false, "adopt residence tables from cluster peers when a router supplies a peer hint, instead of rebuilding locally")
+	peerFillTimeout := fs.Duration("peer-fill-timeout", service.DefaultPeerFillTimeout, "deadline for one peer table fetch before falling back to a local build")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	debugAddr := fs.String("debug-addr", "", "optional pprof/expvar listener (e.g. 127.0.0.1:6060); the handlers expose heap contents and build info, so bind loopback or firewall it")
 	accessLog := fs.Bool("access-log", false, "log every request (method, path, status, bytes, duration) via slog")
@@ -75,12 +79,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return serve(ctx, ln, service.Config{
-		MaxInflight:  *inflight,
-		CacheSize:    *cacheSize,
-		Timeout:      *timeout,
-		MaxBodyBytes: *maxBody,
-	}, *drain, out, opts)
+	cfg := service.Config{
+		MaxInflight:     *inflight,
+		CacheSize:       *cacheSize,
+		Timeout:         *timeout,
+		MaxBodyBytes:    *maxBody,
+		MaxBatchSpecs:   *maxBatch,
+		PeerFillTimeout: *peerFillTimeout,
+	}
+	if *peerFill {
+		cfg.PeerFill = cluster.NewPeerFill(nil)
+	}
+	return serve(ctx, ln, cfg, *drain, out, opts)
 }
 
 // serveOptions carries the optional observability surfaces: an access

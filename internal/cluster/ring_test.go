@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = fmt.Appendf(nil, "trace-fingerprint-%d", i)
+	}
+	return keys
+}
+
+// Ownership is a pure function of (members, replicas, key): the same
+// view must hash identically in every process, every run, every Go
+// release — routers never coordinate, they just agree. The golden
+// assignment below was computed once and must never drift; a hash
+// change silently remaps the whole fleet and orphans every cached
+// table.
+func TestRingDeterministicOwnershipGolden(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		r.Add("http://b/")
+		r.Add("http://a/")
+		r.Add("http://c/")
+		return r
+	}
+	golden := []struct {
+		key  string
+		want string
+	}{
+		{"trace-fingerprint-0", "http://b/"},
+		{"trace-fingerprint-1", "http://b/"},
+		{"trace-fingerprint-2", "http://a/"},
+		{"trace-fingerprint-3", "http://a/"},
+		{"trace-fingerprint-4", "http://a/"},
+		{"trace-fingerprint-5", "http://b/"},
+		{"trace-fingerprint-6", "http://b/"},
+		{"trace-fingerprint-7", "http://a/"},
+	}
+	r1, r2 := build(), build()
+	for _, g := range golden {
+		got, ok := r1.Owner([]byte(g.key))
+		if !ok || got != g.want {
+			t.Errorf("Owner(%q) = %q,%v; golden %q", g.key, got, ok, g.want)
+		}
+		again, _ := r2.Owner([]byte(g.key))
+		if again != got {
+			t.Errorf("Owner(%q) differs across identically-built rings: %q vs %q", g.key, got, again)
+		}
+	}
+	// Insertion order must not matter.
+	r3 := NewRing(64)
+	r3.Add("http://c/")
+	r3.Add("http://a/")
+	r3.Add("http://b/")
+	for _, g := range golden {
+		if got, _ := r3.Owner([]byte(g.key)); got != g.want {
+			t.Errorf("Owner(%q) = %q after reordered Adds, golden %q", g.key, got, g.want)
+		}
+	}
+}
+
+// Removing 1 of 4 backends must move only the keys the leaver owned —
+// about a quarter — and no key between two surviving backends. A naive
+// mod-N hash would reshuffle ~75% here, stampeding every shard's cache.
+func TestRingBoundedMovementOnLeave(t *testing.T) {
+	backends := []string{"http://b0/", "http://b1/", "http://b2/", "http://b3/"}
+	r := NewRing(0)
+	for _, b := range backends {
+		r.Add(b)
+	}
+	const numKeys = 4000
+	keys := ringKeys(numKeys)
+	before := make([]string, numKeys)
+	for i, k := range keys {
+		before[i], _ = r.Owner(k)
+	}
+
+	r.Remove(backends[1])
+	moved := 0
+	for i, k := range keys {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("ring emptied by removing one of four backends")
+		}
+		if after == backends[1] {
+			t.Fatalf("key %d still owned by removed backend", i)
+		}
+		if after != before[i] {
+			if before[i] != backends[1] {
+				t.Fatalf("key %d moved %s -> %s though neither is the leaver", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	// The loop above proved every moved key belonged to the leaver, so
+	// `moved` is exactly the leaver's share: 1/4 in expectation, plus a
+	// few percent of vnode placement variance (deterministic for this
+	// key set). A mod-N remap would move ~75% here.
+	if limit := numKeys * 28 / 100; moved > limit {
+		t.Fatalf("%d/%d keys moved when 1 of 4 backends left; consistent hashing bounds this near %d", moved, numKeys, numKeys/4)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved — the removed backend owned nothing, ring balance is broken")
+	}
+
+	// Rejoin restores the exact prior assignment: membership sets, not
+	// membership histories, determine ownership.
+	r.Add(backends[1])
+	for i, k := range keys {
+		if got, _ := r.Owner(k); got != before[i] {
+			t.Fatalf("key %d owned by %s after leave+rejoin, was %s", i, got, before[i])
+		}
+	}
+}
+
+// OwnerExcluding(key, owner) is the peer-fill target: it must equal the
+// backend that inherits the key once the owner actually leaves.
+func TestRingOwnerExcludingMatchesInheritance(t *testing.T) {
+	backends := []string{"http://b0/", "http://b1/", "http://b2/", "http://b3/"}
+	for _, k := range ringKeys(500) {
+		r := NewRing(32)
+		for _, b := range backends {
+			r.Add(b)
+		}
+		owner, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner on a populated ring")
+		}
+		predicted, ok := r.OwnerExcluding(k, owner)
+		if !ok {
+			t.Fatal("no excluded owner with three other members")
+		}
+		if predicted == owner {
+			t.Fatalf("OwnerExcluding returned the excluded backend %s", owner)
+		}
+		r.Remove(owner)
+		inherited, _ := r.Owner(k)
+		if predicted != inherited {
+			t.Fatalf("key %q: predicted inheritor %s, actual %s", k, predicted, inherited)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(16)
+	if _, ok := r.Owner([]byte("k")); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if _, ok := r.OwnerExcluding([]byte("k"), "x"); ok {
+		t.Fatal("empty ring claimed an excluded owner")
+	}
+	if r.Len() != 0 || len(r.Members()) != 0 {
+		t.Fatal("empty ring reports members")
+	}
+
+	// Single backend owns everything; excluding it leaves nobody.
+	r.Add("http://only/")
+	for _, k := range ringKeys(50) {
+		if got, ok := r.Owner(k); !ok || got != "http://only/" {
+			t.Fatalf("single-member ring: Owner = %q,%v", got, ok)
+		}
+		if _, ok := r.OwnerExcluding(k, "http://only/"); ok {
+			t.Fatal("excluding the only member still found an owner")
+		}
+	}
+
+	// Duplicate Add and absent Remove are no-ops.
+	r.Add("http://only/")
+	if r.Len() != 1 {
+		t.Fatalf("duplicate Add changed Len to %d", r.Len())
+	}
+	r.Remove("http://ghost/")
+	if r.Len() != 1 || !r.Has("http://only/") {
+		t.Fatal("removing an absent backend disturbed membership")
+	}
+	r.Remove("http://only/")
+	if r.Len() != 0 {
+		t.Fatal("ring not empty after removing its only member")
+	}
+	if _, ok := r.Owner([]byte("k")); ok {
+		t.Fatal("emptied ring claimed an owner")
+	}
+}
+
+// Virtual nodes must spread keys roughly evenly: with 128 vnodes per
+// backend, no shard of four should stray past ~2x its fair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("http://b%d/", i))
+	}
+	const numKeys = 8000
+	for _, k := range ringKeys(numKeys) {
+		owner, _ := r.Owner(k)
+		counts[owner]++
+	}
+	fair := numKeys / 4
+	for b, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("backend %s owns %d keys, fair share %d", b, n, fair)
+		}
+	}
+}

@@ -1,0 +1,568 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// Defaults for RouterConfig fields left zero.
+const (
+	DefaultHealthInterval = 2 * time.Second
+	DefaultHealthTimeout  = 500 * time.Millisecond
+	DefaultRouterMaxBody  = 32 << 20
+)
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Backends are the base URLs of the pimserve fleet (e.g.
+	// "http://10.0.0.3:8080"). All start as ring members; health checks
+	// eject and readmit them afterwards.
+	Backends []string
+
+	// Replicas is the ring's virtual-node count per backend; <= 0 means
+	// DefaultReplicas.
+	Replicas int
+
+	// PeerFill attaches an X-Pim-Peer hint to proxied schedule
+	// requests, naming the ring's previous owner of the key, so a shard
+	// that inherited the key after churn can adopt that peer's cached
+	// table instead of rebuilding it.
+	PeerFill bool
+
+	// HealthInterval spaces background health sweeps; 0 means
+	// DefaultHealthInterval, < 0 disables the background loop (tests
+	// drive CheckHealth directly).
+	HealthInterval time.Duration
+
+	// HealthTimeout bounds one backend probe; <= 0 means
+	// DefaultHealthTimeout.
+	HealthTimeout time.Duration
+
+	// MaxBodyBytes bounds a routed request body; <= 0 means
+	// DefaultRouterMaxBody.
+	MaxBodyBytes int64
+
+	// Client issues proxied requests and health probes; nil means a
+	// dedicated client with sane connection pooling.
+	Client *http.Client
+}
+
+// Router shards schedule traffic across a pimserve fleet by trace
+// fingerprint. One trace always lands on one shard, so each residence
+// table is built once fleet-wide and every shard's cache stays disjoint.
+// Session traffic is pinned to the shard that created the session.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	client *http.Client
+
+	sessMu   sync.Mutex
+	sessions map[string]string // session id -> backend base URL
+
+	reg          *obs.Registry
+	requests     *obs.Counter
+	badRequests  *obs.Counter
+	retries      *obs.Counter
+	ejections    *obs.Counter
+	readmissions *obs.Counter
+	noBackend    *obs.Counter
+	peerHints    *obs.Counter
+	latency      *obs.Histogram
+
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// NewRouter builds a router over the configured fleet and, unless
+// disabled, starts its health loop. Close releases it.
+func NewRouter(cfg RouterConfig) *Router {
+	rt := &Router{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Replicas),
+		client:   cfg.Client,
+		sessions: make(map[string]string),
+		reg:      obs.NewRegistry(),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	for _, b := range cfg.Backends {
+		rt.ring.Add(strings.TrimRight(b, "/"))
+	}
+
+	rt.requests = rt.reg.Counter("pim_router_requests_total", "Requests routed to a backend.")
+	rt.badRequests = rt.reg.Counter("pim_router_bad_requests_total", "Requests rejected before routing (unroutable body).")
+	rt.retries = rt.reg.Counter("pim_router_retries_total", "Proxied requests retried on a second backend after a connection error.")
+	rt.ejections = rt.reg.Counter("pim_router_ejections_total", "Backends ejected from the ring (health check or connection error).")
+	rt.readmissions = rt.reg.Counter("pim_router_readmissions_total", "Ejected backends readmitted by a passing health check.")
+	rt.noBackend = rt.reg.Counter("pim_router_no_backend_total", "Requests failed 503 because the ring was empty.")
+	rt.peerHints = rt.reg.Counter("pim_router_peer_hints_total", "Schedule requests forwarded with a peer cache-fill hint.")
+	rt.latency = rt.reg.Histogram("pim_router_request_duration_seconds",
+		"End-to-end latency of proxied requests.", obs.LatencyBuckets)
+	rt.reg.GaugeFunc("pim_router_backends_healthy", "Ring members currently routable.",
+		func() float64 { return float64(rt.ring.Len()) })
+	rt.reg.GaugeFunc("pim_router_backends_known", "Backends configured, healthy or not.",
+		func() float64 { return float64(len(rt.cfg.Backends)) })
+	rt.reg.GaugeFunc("pim_router_sessions_pinned", "Sessions currently pinned to a backend.",
+		func() float64 {
+			rt.sessMu.Lock()
+			defer rt.sessMu.Unlock()
+			return float64(len(rt.sessions))
+		})
+
+	if cfg.HealthInterval >= 0 {
+		go rt.healthLoop()
+	} else {
+		close(rt.loopDone)
+	}
+	return rt
+}
+
+// Close stops the health loop. In-flight proxied requests finish on
+// their own; the router holds no other resources.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	<-rt.loopDone
+}
+
+// Ring exposes the live membership view, mainly for tests and /stats.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+func (rt *Router) healthInterval() time.Duration {
+	if rt.cfg.HealthInterval == 0 {
+		return DefaultHealthInterval
+	}
+	return rt.cfg.HealthInterval
+}
+
+func (rt *Router) healthTimeout() time.Duration {
+	if rt.cfg.HealthTimeout <= 0 {
+		return DefaultHealthTimeout
+	}
+	return rt.cfg.HealthTimeout
+}
+
+func (rt *Router) maxBodyBytes() int64 {
+	if rt.cfg.MaxBodyBytes <= 0 {
+		return DefaultRouterMaxBody
+	}
+	return rt.cfg.MaxBodyBytes
+}
+
+func (rt *Router) healthLoop() {
+	defer close(rt.loopDone)
+	t := time.NewTicker(rt.healthInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.CheckHealth()
+		}
+	}
+}
+
+// CheckHealth probes every configured backend's /healthz once, ejecting
+// failures from the ring and readmitting recoveries. It is the only
+// path back into the ring after an ejection.
+func (rt *Router) CheckHealth() {
+	for _, b := range rt.cfg.Backends {
+		backend := strings.TrimRight(b, "/")
+		healthy := rt.probe(backend)
+		switch {
+		case healthy && !rt.ring.Has(backend):
+			rt.ring.Add(backend)
+			rt.readmissions.Inc()
+		case !healthy && rt.ring.Has(backend):
+			rt.ring.Remove(backend)
+			rt.ejections.Inc()
+		}
+	}
+}
+
+func (rt *Router) probe(backend string) bool {
+	req, err := http.NewRequest(http.MethodGet, backend+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	// The probe deadline rides on the request, not a context, so one
+	// hung backend cannot stall the whole sweep past its own budget.
+	c := *rt.client
+	c.Timeout = rt.healthTimeout()
+	resp, err := c.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Handler returns the router's HTTP surface: the schedule and session
+// endpoints proxied by ownership, plus the router's own /healthz,
+// /stats and /metrics. Paths it does not understand are 404s — the
+// router never blind-forwards, because a request it cannot key would
+// land on an arbitrary shard and quietly violate the one-trace-one-
+// shard invariant.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /schedule", rt.handleByTrace)
+	mux.HandleFunc("POST /schedule/batch", rt.handleByTrace)
+	mux.HandleFunc("POST /session", rt.handleSessionCreate)
+	mux.HandleFunc("GET /session/{id}", rt.handleBySession)
+	mux.HandleFunc("DELETE /session/{id}", rt.handleBySession)
+	mux.HandleFunc("POST /session/{id}/delta", rt.handleBySession)
+	mux.HandleFunc("POST /session/{id}/schedule", rt.handleBySession)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.Handle("GET /metrics", rt.reg.Handler())
+	return mux
+}
+
+// routeKey extracts the trace from a schedule-class body and returns
+// the ring key it hashes to: the trace fingerprint, exactly the cache
+// key every shard uses, which is what makes routing and caching agree.
+func routeKey(body []byte) ([]byte, error) {
+	var probe struct {
+		Trace string `json:"trace"`
+	}
+	// Lenient decode: unknown fields are the backend's business; the
+	// router only needs the trace.
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return nil, fmt.Errorf("cluster: unroutable body: %v", err)
+	}
+	if probe.Trace == "" {
+		return nil, errors.New("cluster: unroutable body: no trace field")
+	}
+	tr, err := trace.Decode(strings.NewReader(probe.Trace))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: unroutable body: %v", err)
+	}
+	fp := tr.Fingerprint()
+	return fp[:], nil
+}
+
+func (rt *Router) handleByTrace(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	key, err := routeKey(body)
+	if err != nil {
+		rt.badRequests.Inc()
+		routerError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.proxyByKey(w, r, key, body, nil)
+}
+
+func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	key, err := routeKey(body)
+	if err != nil {
+		rt.badRequests.Inc()
+		routerError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.proxyByKey(w, r, key, body, func(backend string, status int, respBody []byte) {
+		if status != http.StatusCreated {
+			return
+		}
+		var info struct {
+			SessionID string `json:"session_id"`
+		}
+		if json.Unmarshal(respBody, &info) == nil && info.SessionID != "" {
+			rt.pinSession(info.SessionID, backend)
+		}
+	})
+}
+
+func (rt *Router) handleBySession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	backend, ok := rt.lookupSession(id)
+	if !ok {
+		routerError(w, http.StatusNotFound, "cluster: unknown session "+id)
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	status := rt.proxyTo(w, r, backend, body, "")
+	if r.Method == http.MethodDelete && status == http.StatusNoContent {
+		rt.unpinSession(id)
+	}
+}
+
+func (rt *Router) pinSession(id, backend string) {
+	rt.sessMu.Lock()
+	rt.sessions[id] = backend
+	rt.sessMu.Unlock()
+}
+
+func (rt *Router) unpinSession(id string) {
+	rt.sessMu.Lock()
+	delete(rt.sessions, id)
+	rt.sessMu.Unlock()
+}
+
+func (rt *Router) lookupSession(id string) (string, bool) {
+	rt.sessMu.Lock()
+	defer rt.sessMu.Unlock()
+	b, ok := rt.sessions[id]
+	return b, ok
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBodyBytes()))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		rt.badRequests.Inc()
+		routerError(w, status, "cluster: read request: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// proxyByKey resolves the key's owner and forwards, retrying once on a
+// fresh owner if the first connection fails. onResponse, when set, sees
+// the backend and response of the attempt that got through.
+func (rt *Router) proxyByKey(w http.ResponseWriter, r *http.Request, key, body []byte, onResponse func(backend string, status int, respBody []byte)) {
+	backend, ok := rt.ring.Owner(key)
+	if !ok {
+		rt.noBackend.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(rt.healthInterval().Seconds())+1))
+		routerError(w, http.StatusServiceUnavailable, "cluster: no healthy backends")
+		return
+	}
+	peer := rt.peerHintFor(key, backend)
+	rt.proxyAttempt(w, r, backend, key, body, peer, onResponse, true)
+}
+
+// peerHintFor names the backend that owned key before the current owner
+// joined (equally: the one that inherits it if the owner leaves) — the
+// most likely holder of the key's table after ring churn.
+func (rt *Router) peerHintFor(key []byte, owner string) string {
+	if !rt.cfg.PeerFill {
+		return ""
+	}
+	peer, ok := rt.ring.OwnerExcluding(key, owner)
+	if !ok {
+		return ""
+	}
+	return peer
+}
+
+func (rt *Router) proxyAttempt(w http.ResponseWriter, r *http.Request, backend string, key, body []byte, peer string, onResponse func(string, int, []byte), mayRetry bool) {
+	rr, err := rt.send(r, backend, body, peer)
+	if err != nil {
+		if mayRetry && isConnError(err) {
+			// The backend is unreachable: eject it now rather than
+			// waiting out a health interval, then rerun ownership on
+			// the shrunken ring. The request itself never reached a
+			// scheduler, so the retry cannot double-execute anything.
+			if rt.ring.Has(backend) {
+				rt.ring.Remove(backend)
+				rt.ejections.Inc()
+			}
+			next, ok := rt.ring.Owner(key)
+			if ok && next != backend {
+				rt.retries.Inc()
+				rt.proxyAttempt(w, r, next, key, body, rt.peerHintFor(key, next), onResponse, false)
+				return
+			}
+		}
+		if isConnError(err) {
+			rt.noBackend.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(rt.healthInterval().Seconds())+1))
+			routerError(w, http.StatusServiceUnavailable, "cluster: backend unreachable: "+err.Error())
+			return
+		}
+		routerError(w, http.StatusBadGateway, "cluster: proxy: "+err.Error())
+		return
+	}
+	rt.relay(w, rr, onResponse, backend)
+}
+
+// proxyTo forwards to a fixed backend (session traffic; the pin, not
+// the ring, owns placement) and returns the relayed status, or 0 when
+// the backend could not be reached.
+func (rt *Router) proxyTo(w http.ResponseWriter, r *http.Request, backend string, body []byte, peer string) int {
+	rr, err := rt.send(r, backend, body, peer)
+	if err != nil {
+		if isConnError(err) {
+			routerError(w, http.StatusServiceUnavailable, "cluster: session backend unreachable: "+err.Error())
+		} else {
+			routerError(w, http.StatusBadGateway, "cluster: proxy: "+err.Error())
+		}
+		return 0
+	}
+	return rt.relay(w, rr, nil, backend)
+}
+
+// relayedResponse is one fully-received backend response: status plus
+// the headers the router forwards and the buffered body. Buffering
+// (rather than streaming) is deliberate — it pulls mid-stream
+// connection cuts into send's error return where the retry logic can
+// see them, and it lets the session-create hook parse what it forwards.
+type relayedResponse struct {
+	status     int
+	body       []byte
+	contentTyp string
+	retryAfter string
+}
+
+// send issues one proxied request and reads the whole response. Any
+// error — dial, send, or a connection cut mid-body — means no response,
+// so isConnError on it decides retryability for the entire exchange.
+func (rt *Router) send(r *http.Request, backend string, body []byte, peer string) (*relayedResponse, error) {
+	start := time.Now()
+	url := backend + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if peer != "" {
+		req.Header.Set(service.PeerHintHeader, peer)
+		rt.peerHints.Inc()
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	rt.requests.Inc()
+	rt.latency.ObserveDuration(time.Since(start))
+	return &relayedResponse{
+		status:     resp.StatusCode,
+		body:       respBody,
+		contentTyp: resp.Header.Get("Content-Type"),
+		retryAfter: resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+func (rt *Router) relay(w http.ResponseWriter, rr *relayedResponse, onResponse func(string, int, []byte), backend string) int {
+	if onResponse != nil {
+		onResponse(backend, rr.status, rr.body)
+	}
+	if rr.contentTyp != "" {
+		w.Header().Set("Content-Type", rr.contentTyp)
+	}
+	if rr.retryAfter != "" {
+		w.Header().Set("Retry-After", rr.retryAfter)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(rr.body)))
+	w.WriteHeader(rr.status)
+	w.Write(rr.body)
+	return rr.status
+}
+
+// isConnError reports whether err means the request never got a
+// response — dial refused, connection reset, or the wire cut mid-reply
+// — the class where the backend did no (visible) work and a retry on
+// another shard is safe for pure compute.
+func isConnError(err error) bool {
+	var opErr *net.OpError
+	return errors.As(err, &opErr) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.ring.Len() == 0 {
+		routerError(w, http.StatusServiceUnavailable, "cluster: no healthy backends")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// RouterStats is the /stats snapshot.
+type RouterStats struct {
+	Backends       []string `json:"backends"`
+	Healthy        []string `json:"healthy"`
+	Requests       uint64   `json:"requests"`
+	BadRequests    uint64   `json:"bad_requests"`
+	Retries        uint64   `json:"retries"`
+	Ejections      uint64   `json:"ejections"`
+	Readmissions   uint64   `json:"readmissions"`
+	NoBackend      uint64   `json:"no_backend"`
+	PeerHints      uint64   `json:"peer_hints"`
+	SessionsPinned int      `json:"sessions_pinned"`
+}
+
+// Stats snapshots the router's counters.
+func (rt *Router) Stats() RouterStats {
+	rt.sessMu.Lock()
+	pinned := len(rt.sessions)
+	rt.sessMu.Unlock()
+	known := make([]string, len(rt.cfg.Backends))
+	for i, b := range rt.cfg.Backends {
+		known[i] = strings.TrimRight(b, "/")
+	}
+	return RouterStats{
+		Backends:       known,
+		Healthy:        rt.ring.Members(),
+		Requests:       rt.requests.Value(),
+		BadRequests:    rt.badRequests.Value(),
+		Retries:        rt.retries.Value(),
+		Ejections:      rt.ejections.Value(),
+		Readmissions:   rt.readmissions.Value(),
+		NoBackend:      rt.noBackend.Value(),
+		PeerHints:      rt.peerHints.Value(),
+		SessionsPinned: pinned,
+	}
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rt.Stats())
+}
+
+func routerError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,96 @@
+package cost
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// tableCodecMagic is the version tag leading every encoded residence
+// table. Bumping it invalidates all previously encoded payloads instead
+// of letting an incompatible layout decode into garbage: a peer running
+// an older codec simply fails the fetch and the shard falls back to a
+// local build.
+const tableCodecMagic = "pimtab-v1\n"
+
+// tableCodecHeaderLen is the byte length of the fixed header: magic,
+// the trace fingerprint the table was built from, and the three shape
+// fields as 8-byte little-endian unsigned integers.
+const tableCodecHeaderLen = len(tableCodecMagic) + len(trace.Fingerprint{}) + 3*8
+
+// maxDecodedTableBytes bounds the cell payload DecodeTable will accept
+// (1 GiB of cells), so a corrupt header cannot make a shard attempt a
+// multi-terabyte allocation.
+const maxDecodedTableBytes = 1 << 30
+
+// EncodeTable serializes a residence table into the flat, version-tagged
+// peer-fill wire format:
+//
+//	magic "pimtab-v1\n"
+//	fingerprint            (32 bytes, the trace the table was built from)
+//	numWindows, numData, numProcs  (8-byte little endian each)
+//	cells                  (nw*nd*np int64 values, little endian, in the
+//	                        documented (w*nd+d)*np+c layout)
+//
+// Every field is fixed width and the cell count is fully determined by
+// the header, so DecodeTable can reject truncated or padded payloads
+// exactly. The fingerprint rides inside the payload (not just in the
+// request URL) so a decoder can refuse a table that was built for a
+// different trace even if a proxy or a buggy peer mixed responses up.
+func EncodeTable(fp trace.Fingerprint, t ResidenceTable) []byte {
+	cells := t.Cells()
+	out := make([]byte, 0, tableCodecHeaderLen+8*len(cells))
+	out = append(out, tableCodecMagic...)
+	out = append(out, fp[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(t.nw))
+	out = binary.LittleEndian.AppendUint64(out, uint64(t.nd))
+	out = binary.LittleEndian.AppendUint64(out, uint64(t.np))
+	for _, c := range cells {
+		out = binary.LittleEndian.AppendUint64(out, uint64(c))
+	}
+	return out
+}
+
+// DecodeTable parses a payload produced by EncodeTable, returning the
+// fingerprint it was built for and the reconstructed table. It never
+// panics: a wrong magic, an impossible shape, a truncated cell stream
+// or trailing junk all yield descriptive errors, so a shard can treat
+// any decode failure as a peer-fill miss and build locally.
+func DecodeTable(data []byte) (trace.Fingerprint, ResidenceTable, error) {
+	var fp trace.Fingerprint
+	if len(data) < tableCodecHeaderLen {
+		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload %d bytes, header needs %d", len(data), tableCodecHeaderLen)
+	}
+	if string(data[:len(tableCodecMagic)]) != tableCodecMagic {
+		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload has wrong magic %q", data[:len(tableCodecMagic)])
+	}
+	data = data[len(tableCodecMagic):]
+	copy(fp[:], data[:len(fp)])
+	data = data[len(fp):]
+	nw := binary.LittleEndian.Uint64(data[0:])
+	nd := binary.LittleEndian.Uint64(data[8:])
+	np := binary.LittleEndian.Uint64(data[16:])
+	data = data[24:]
+
+	// Reject shapes that cannot be a real table before multiplying, so
+	// an adversarial header cannot overflow the cell count into a small
+	// allocation that the cell loop then indexes past.
+	const maxDim = math.MaxInt32
+	if nw > maxDim || nd > maxDim || np > maxDim {
+		return fp, ResidenceTable{}, fmt.Errorf("cost: table shape %dx%dx%d out of range", nw, nd, np)
+	}
+	cellCount := nw * nd * np
+	if cellCount > maxDecodedTableBytes/8 {
+		return fp, ResidenceTable{}, fmt.Errorf("cost: table shape %dx%dx%d exceeds %d-byte cell limit", nw, nd, np, maxDecodedTableBytes)
+	}
+	if uint64(len(data)) != 8*cellCount {
+		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload carries %d cell bytes, shape %dx%dx%d needs %d", len(data), nw, nd, np, 8*cellCount)
+	}
+	t := NewResidenceTable(int(nw), int(nd), int(np))
+	for i := range t.cells {
+		t.cells[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return fp, t, nil
+}

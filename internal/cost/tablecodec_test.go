@@ -1,0 +1,140 @@
+package cost
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func builtTable(t *testing.T) (trace.Fingerprint, ResidenceTable) {
+	t.Helper()
+	gen, err := workload.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.Generate(6, grid.Square(3))
+	m := NewModel(tr)
+	return tr.Fingerprint(), m.BuildResidenceTable()
+}
+
+func TestTableCodecRoundTrip(t *testing.T) {
+	fp, table := builtTable(t)
+	payload := EncodeTable(fp, table)
+	gotFP, got, err := DecodeTable(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != fp {
+		t.Fatalf("fingerprint %s, want %s", gotFP, fp)
+	}
+	if got.NumWindows() != table.NumWindows() || got.NumData() != table.NumData() || got.NumProcs() != table.NumProcs() {
+		t.Fatalf("shape %dx%dx%d, want %dx%dx%d",
+			got.NumWindows(), got.NumData(), got.NumProcs(),
+			table.NumWindows(), table.NumData(), table.NumProcs())
+	}
+	if !bytes.Equal(int64Bytes(got.Cells()), int64Bytes(table.Cells())) {
+		t.Fatal("decoded cells differ from original")
+	}
+	// The decoded table owns fresh backing: mutating it must not alias
+	// the payload or the original.
+	if len(got.Cells()) > 0 {
+		got.Cells()[0]++
+		if got.Cells()[0] == table.Cells()[0] {
+			t.Fatal("decoded table aliases the original")
+		}
+	}
+}
+
+func int64Bytes(cells []int64) []byte {
+	out := make([]byte, 0, 8*len(cells))
+	for _, c := range cells {
+		out = binary.LittleEndian.AppendUint64(out, uint64(c))
+	}
+	return out
+}
+
+func TestTableCodecRoundTripEmpty(t *testing.T) {
+	var fp trace.Fingerprint
+	fp[0] = 0xab
+	table := NewResidenceTable(0, 3, 9)
+	gotFP, got, err := DecodeTable(EncodeTable(fp, table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != fp || got.NumWindows() != 0 || got.NumData() != 3 || got.NumProcs() != 9 {
+		t.Fatalf("empty table round-trip: fp %s shape %dx%dx%d", gotFP, got.NumWindows(), got.NumData(), got.NumProcs())
+	}
+}
+
+func TestTableCodecRejectsCorruption(t *testing.T) {
+	fp, table := builtTable(t)
+	payload := EncodeTable(fp, table)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(p []byte) []byte { return nil }, "header needs"},
+		{"short header", func(p []byte) []byte { return p[:tableCodecHeaderLen-1] }, "header needs"},
+		{"wrong magic", func(p []byte) []byte {
+			q := append([]byte(nil), p...)
+			q[0] ^= 0xff
+			return q
+		}, "wrong magic"},
+		{"truncated cells", func(p []byte) []byte { return p[:len(p)-5] }, "cell bytes"},
+		{"trailing junk", func(p []byte) []byte { return append(append([]byte(nil), p...), 0, 1, 2) }, "cell bytes"},
+		{"oversized shape", func(p []byte) []byte {
+			q := append([]byte(nil), p...)
+			// Overwrite numWindows with a value whose cell count would
+			// overflow a naive nw*nd*np multiplication.
+			binary.LittleEndian.PutUint64(q[len(tableCodecMagic)+32:], 1<<62)
+			return q
+		}, "out of range"},
+		{"huge but in-range shape", func(p []byte) []byte {
+			q := append([]byte(nil), p...)
+			binary.LittleEndian.PutUint64(q[len(tableCodecMagic)+32:], 1<<31-1)
+			binary.LittleEndian.PutUint64(q[len(tableCodecMagic)+40:], 1<<31-1)
+			binary.LittleEndian.PutUint64(q[len(tableCodecMagic)+48:], 1<<31-1)
+			return q
+		}, "cell limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeTable(tc.mutate(payload))
+			if err == nil {
+				t.Fatal("DecodeTable accepted a corrupt payload")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// FuzzTableCodec feeds arbitrary payloads to DecodeTable: it must never
+// panic, and anything it does accept must re-encode to the exact bytes
+// it decoded from (the format has no redundancy, so decode∘encode is
+// the identity on valid payloads).
+func FuzzTableCodec(f *testing.F) {
+	var fp trace.Fingerprint
+	f.Add([]byte{})
+	f.Add([]byte(tableCodecMagic))
+	f.Add(EncodeTable(fp, NewResidenceTable(0, 0, 0)))
+	f.Add(EncodeTable(fp, NewResidenceTable(1, 1, 1)))
+	f.Add(EncodeTable(fp, NewResidenceTable(2, 3, 4)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, table, err := DecodeTable(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeTable(fp, table); !bytes.Equal(got, data) {
+			t.Fatalf("decode/encode of %d-byte payload not the identity", len(data))
+		}
+	})
+}

@@ -1,16 +1,21 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/cost"
 	"repro/internal/delta"
 	"repro/internal/grid"
+	"repro/internal/trace"
 )
 
 // Regression test: decodeBody used to stop reading at the end of the
@@ -182,6 +187,114 @@ func TestSessionDeleteRaceStress(t *testing.T) {
 	text := traceText(t, "lu", 4, grid.Square(2))
 	if _, err := svc.CreateSession(CreateSessionRequest{Trace: text, Algorithm: "gomcds"}); err != nil {
 		t.Fatalf("create after delete under MaxSessions=1: %v", err)
+	}
+}
+
+// Regression test: the cache-hit counter used to increment inside
+// acquire, before the request finished, so a request whose context was
+// canceled after the lookup but before a response was delivered still
+// counted as a hit — under deadline pressure cache_hits drifted above
+// the number of responses actually served from cache, poisoning the
+// hit-rate the router's capacity planning reads. The counter must
+// settle once, on the actual outcome: a canceled request contributes
+// nothing; the next successful request counts normally.
+func TestCanceledRequestDoesNotInflateCacheHits(t *testing.T) {
+	svc := New(Config{})
+	text := traceText(t, "lu", 4, grid.Square(2))
+	req := Request{Trace: text, Algorithm: "scds"}
+	if _, err := svc.Schedule(context.Background(), req); err != nil {
+		t.Fatal(err) // seeds the cache: one build, no hit
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	svc.testHookRunning = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(ctx, req)
+		errc <- err
+	}()
+	<-entered
+	cancel() // abandon the request while its worker holds the hook
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled request returned %v, want context.Canceled", err)
+	}
+	close(release) // let the abandoned worker run to completion
+
+	// A later request over the same trace is a genuine, delivered hit.
+	if _, err := svc.Schedule(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close() // waits out the abandoned background run
+	st := svc.Stats()
+	if st.CacheHits != 1 {
+		t.Fatalf("cache_hits = %d (1 delivered hit + 1 canceled request), want 1", st.CacheHits)
+	}
+	if st.TablesBuilt != 1 {
+		t.Fatalf("tables_built = %d, want 1", st.TablesBuilt)
+	}
+}
+
+// The sibling inflation on the singleflight path: a waiter that
+// piggybacks on an in-flight build but is canceled before the build
+// completes used to count as a shared build at lookup time. It must not
+// count at all — it never received the table. The test itself plays the
+// stalled builder by acquiring the entry first and publishing only
+// after the waiter has been canceled.
+func TestCanceledWaiterDoesNotInflateSharedBuilds(t *testing.T) {
+	svc := New(Config{})
+	text := traceText(t, "lu", 4, grid.Square(2))
+	req := Request{Trace: text, Algorithm: "scds"}
+	tr, err := trace.Decode(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entry, builder := svc.cache.acquire(tr.Fingerprint())
+	if !builder {
+		t.Fatal("test did not win builder election on an empty cache")
+	}
+
+	waiterIn := make(chan struct{})
+	var calls atomic.Int32
+	svc.testHookRunning = func() {
+		if calls.Add(1) == 1 {
+			close(waiterIn)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(ctx, req)
+		waiterErr <- err
+	}()
+	<-waiterIn // the waiter is past the hook, heading into the singleflight wait
+	runtime.Gosched()
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+	}
+
+	// Finish the build so the abandoned background run can drain.
+	m := cost.NewModel(tr)
+	svc.cache.publish(entry, m, m.BuildResidenceTable())
+	svc.Close()
+	st := svc.Stats()
+	if st.CacheSharedBuild != 0 {
+		t.Fatalf("cache_shared_builds = %d after a canceled waiter, want 0", st.CacheSharedBuild)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("cache_hits = %d, want 0", st.CacheHits)
+	}
+	if st.TablesBuilt != 0 {
+		t.Fatalf("tables_built = %d (the test built by hand), want 0", st.TablesBuilt)
 	}
 }
 

@@ -19,6 +19,21 @@ type cacheEntry struct {
 	table cost.ResidenceTable
 }
 
+// cacheOutcome classifies how one request resolved against the cache;
+// the request path settles it into the hit/shared-build counters only
+// once the request actually completes (see settle).
+type cacheOutcome uint8
+
+const (
+	// cacheOutcomeBuild: the request was elected builder (the miss was
+	// already counted at election, when the build became inevitable).
+	cacheOutcomeBuild cacheOutcome = iota
+	// cacheOutcomeHit: the entry was ready at acquire time.
+	cacheOutcomeHit
+	// cacheOutcomeShared: the request piggybacked on an in-flight build.
+	cacheOutcomeShared
+)
+
 // tableCache is the fingerprint-keyed LRU with singleflight semantics:
 // acquire elects exactly one builder per fingerprint; concurrent misses
 // on the same key piggyback on the in-flight build instead of building
@@ -50,19 +65,19 @@ func newTableCache(max int) *tableCache {
 // acquire returns the cache entry for fp and whether the caller has
 // been elected to build it. When builder is false the caller must wait
 // on entry.ready before touching model/table.
+//
+// Misses and evictions are counted here: election makes the build
+// inevitable (it runs to completion even if the requester is later
+// abandoned), so the miss is a fact at acquire time. Hits and shared
+// builds are NOT counted here — a waiter whose caller cancels mid-wait
+// never receives the table, so those settle later, once the request
+// actually completes (see settle).
 func (c *tableCache) acquire(fp trace.Fingerprint) (entry *cacheEntry, builder bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[fp]; ok {
 		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
-		select {
-		case <-e.ready:
-			c.hits++
-		default:
-			c.sharedBuilds++ // concurrent miss: reuse the in-flight build
-		}
-		return e, false
+		return el.Value.(*cacheEntry), false
 	}
 	c.misses++
 	e := &cacheEntry{fp: fp, ready: make(chan struct{})}
@@ -78,6 +93,47 @@ func (c *tableCache) acquire(fp trace.Fingerprint) (entry *cacheEntry, builder b
 		c.evictions++
 	}
 	return e, true
+}
+
+// peek returns the ready entry for fp, or false when the fingerprint is
+// not cached or its build is still in flight. It serves the peer-fill
+// read side (GET /table/{fingerprint}): a peer asking for an in-flight
+// entry gets a miss rather than a wait, so a fill request is always
+// answered in bounded time. A successful peek refreshes recency — a
+// table a peer wants is a table worth keeping — but counts neither as
+// hit nor miss, so shard-local cache statistics stay about local
+// request traffic.
+func (c *tableCache) peek(fp trace.Fingerprint) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[fp]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	select {
+	case <-e.ready:
+	default:
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e, true
+}
+
+// settle records how a completed request resolved against the cache.
+// The request path calls it exactly once per successful request, after
+// the response is in hand; abandoned waiters (context expired while
+// blocked on an in-flight build) never settle, so cache_hits counts
+// tables actually delivered, not lookups optimistically started.
+func (c *tableCache) settle(o cacheOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch o {
+	case cacheOutcomeHit:
+		c.hits++
+	case cacheOutcomeShared:
+		c.sharedBuilds++
+	}
 }
 
 // publish installs the built model and table and wakes all waiters.

@@ -36,6 +36,7 @@ func TestTableCacheTinyCapacitySingleflights(t *testing.T) {
 			}
 			select {
 			case <-e2.ready:
+				c.settle(cacheOutcomeHit) // as the request path does on completion
 			default:
 				t.Fatalf("max=%d: acquire %d returned an unpublished entry with no builder", max, i)
 			}

@@ -11,12 +11,16 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cost"
 	"repro/internal/delta"
+	"repro/internal/trace"
 )
 
 // Handler returns the service's HTTP surface:
 //
 //	POST   /schedule[?verify=true]     run a scheduler over an inline trace
+//	POST   /schedule/batch             run many specs over one shared trace
+//	GET    /table/{fingerprint}        serve a cached residence table (peer fill)
 //	POST   /session                    open an incremental session
 //	GET    /session/{id}               describe a session
 //	POST   /session/{id}/delta         apply one trace delta
@@ -34,6 +38,8 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /schedule/batch", s.handleScheduleBatch)
+	mux.HandleFunc("GET /table/{fingerprint}", s.handleTableGet)
 	mux.HandleFunc("POST /session", s.handleSessionCreate)
 	mux.HandleFunc("GET /session/{id}", s.handleSessionInfo)
 	mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
@@ -58,31 +64,82 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("verify"); v == "true" || v == "1" {
 		req.Verify = true
 	}
+	req.PeerHint = r.Header.Get(PeerHintHeader)
 
 	resp, err := s.Schedule(r.Context(), req)
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case isRequestError(err):
-			status = http.StatusBadRequest
-		case errors.Is(err, ErrOverloaded):
-			// Headers must be installed before writeJSON calls
-			// WriteHeader: anything set afterwards is silently dropped.
-			// The backoff tracks the decaying average service time, so
-			// shed clients wait about one request's worth of work.
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			status = http.StatusTooManyRequests
-		case errors.Is(err, ErrClosed):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			status = http.StatusGatewayTimeout
-		}
-		httpError(w, status, err.Error())
+		s.scheduleError(w, err)
 		return
 	}
 	sp := s.stages.Start("encode")
 	writeJSON(w, http.StatusOK, resp)
 	sp.End()
+}
+
+// PeerHintHeader names the request header the router uses to tell a
+// shard which peer to ask for a cached table before building one
+// locally. Its value is the peer's base URL.
+const PeerHintHeader = "X-Pim-Peer"
+
+// scheduleError maps a Schedule/ScheduleBatch error onto its status.
+func (s *Service) scheduleError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case isRequestError(err):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		// Headers must be installed before writeJSON calls
+		// WriteHeader: anything set afterwards is silently dropped.
+		// The backoff tracks the decaying average service time, so
+		// shed clients wait about one request's worth of work.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	}
+	httpError(w, status, err.Error())
+}
+
+func (s *Service) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	req.PeerHint = r.Header.Get(PeerHintHeader)
+
+	resp, err := s.ScheduleBatch(r.Context(), req)
+	if err != nil {
+		s.scheduleError(w, err)
+		return
+	}
+	sp := s.stages.Start("encode")
+	writeJSON(w, http.StatusOK, resp)
+	sp.End()
+}
+
+// handleTableGet serves a cached residence table in the version-tagged
+// flat codec (cost.EncodeTable), the read side of peer cache-fill. A
+// fingerprint that is not resident — never seen, evicted, or still
+// being built — is a 404: the peer treats any non-200 as a miss and
+// builds locally, so this endpoint never blocks on an in-flight build.
+func (s *Service) handleTableGet(w http.ResponseWriter, r *http.Request) {
+	fp, err := trace.ParseFingerprint(r.PathValue("fingerprint"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, ok := s.cache.peek(fp)
+	if !ok {
+		httpError(w, http.StatusNotFound, "table not cached: "+fp.String())
+		return
+	}
+	payload := cost.EncodeTable(fp, entry.table)
+	s.tablesServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Write(payload)
 }
 
 // decodeBody decodes a size-bounded JSON request body into v, writing

@@ -59,6 +59,12 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	reg.GaugeFunc("pim_cache_entries", "Residence-table cache entries resident.",
 		func() float64 { _, _, _, _, n := s.cache.counters(); return float64(n) })
 
+	reg.CounterFunc("pim_batches_total", "Batch schedule requests completed.", s.batches.Load)
+	reg.CounterFunc("pim_batch_specs_total", "Request specs completed inside batches.", s.batchSpecs.Load)
+	reg.CounterFunc("pim_peer_fills_total", "Residence tables adopted from a peer shard instead of built.", s.peerFills.Load)
+	reg.CounterFunc("pim_peer_fill_fallbacks_total", "Peer-fill attempts that fell back to a local build.", s.peerFillFallback.Load)
+	reg.CounterFunc("pim_tables_served_total", "Cached residence tables served to peer shards.", s.tablesServed.Load)
+
 	reg.CounterFunc("pim_sessions_created_total", "Incremental scheduling sessions opened.", s.sessionsCreated.Load)
 	reg.CounterFunc("pim_deltas_applied_total", "Trace deltas applied across all sessions.", s.deltasApplied.Load)
 	reg.GaugeFunc("pim_sessions_active", "Incremental scheduling sessions currently live.",

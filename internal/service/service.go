@@ -47,6 +47,11 @@ import (
 const (
 	DefaultCacheSize    = 64
 	DefaultMaxBodyBytes = 32 << 20
+
+	// DefaultMaxTableCells matches the codec's 1 GiB payload ceiling
+	// (cost.DecodeTable), so any table a shard will build is also one a
+	// peer can ship.
+	DefaultMaxTableCells = 128 << 20
 )
 
 // ErrOverloaded is returned when MaxInflight computations are already
@@ -95,6 +100,50 @@ type Config struct {
 	// means DefaultMaxSessions. Excess creations are shed with
 	// ErrOverloaded.
 	MaxSessions int
+
+	// MaxBatchSpecs bounds the request specs one POST /schedule/batch
+	// call may carry; <= 0 means DefaultMaxBatchSpecs.
+	MaxBatchSpecs int
+
+	// MaxTableCells bounds the residence table implied by a decoded
+	// trace's declared shape (windows x data x processors); <= 0 means
+	// DefaultMaxTableCells. A few directive bytes can declare an
+	// arbitrarily large array, so body size alone does not bound the
+	// work a request commits the service to — this does.
+	MaxTableCells int64
+
+	// PeerFill, when set, is consulted by an elected builder before it
+	// computes a residence table locally: given the fingerprint and the
+	// peer base URL the router supplied (the ring's previous owner of
+	// the key), it returns the peer's cached table. Any error — peer
+	// down, table not cached there, deadline, corrupt payload — is a
+	// silent fallback to the local build. internal/cluster provides the
+	// HTTP implementation over GET /table/{fingerprint}.
+	PeerFill PeerFillFunc
+
+	// PeerFillTimeout bounds one peer-fill fetch; <= 0 means
+	// DefaultPeerFillTimeout. It deliberately stays well under a table
+	// build's worst case: a slow peer must never cost more than the
+	// rebuild it was meant to save.
+	PeerFillTimeout time.Duration
+}
+
+// PeerFillFunc fetches a peer's cached {model, residence table} for a
+// fingerprint. peerURL is the base URL of the shard to ask; the
+// returned table must have been built from the exact trace the
+// fingerprint names (implementations verify the fingerprint echoed in
+// the payload).
+type PeerFillFunc func(ctx context.Context, fp trace.Fingerprint, peerURL string) (cost.ResidenceTable, error)
+
+// DefaultPeerFillTimeout bounds a peer-fill fetch when
+// Config.PeerFillTimeout is zero.
+const DefaultPeerFillTimeout = 500 * time.Millisecond
+
+func (c Config) peerFillTimeout() time.Duration {
+	if c.PeerFillTimeout <= 0 {
+		return DefaultPeerFillTimeout
+	}
+	return c.PeerFillTimeout
 }
 
 func (c Config) cacheSize() int {
@@ -111,6 +160,28 @@ func (c Config) maxBodyBytes() int64 {
 	return c.MaxBodyBytes
 }
 
+func (c Config) maxTableCells() int64 {
+	if c.MaxTableCells <= 0 {
+		return DefaultMaxTableCells
+	}
+	return c.MaxTableCells
+}
+
+// checkTraceScale rejects a trace whose declared shape implies a
+// residence table over the cell budget. The product is taken in
+// float64: each factor has already been validated non-negative, but
+// their product can overflow int64 and a guard that overflows is no
+// guard.
+func (s *Service) checkTraceScale(tr *trace.Trace) error {
+	cells := float64(tr.NumWindows()) * float64(tr.NumData) *
+		float64(tr.Grid.Width()) * float64(tr.Grid.Height())
+	if cells > float64(s.cfg.maxTableCells()) {
+		return badRequest("trace shape %d windows x %d data x %s implies %.3g residence-table cells, limit %d",
+			tr.NumWindows(), tr.NumData, tr.Grid, cells, s.cfg.maxTableCells())
+	}
+	return nil
+}
+
 // Request is one scheduling job: a trace in the pimtrace v1 text
 // format, the algorithm to run, and the per-processor memory capacity
 // (0 = unbounded). Verify additionally re-checks the schedule with the
@@ -120,6 +191,12 @@ type Request struct {
 	Algorithm string `json:"algorithm"`
 	Capacity  int    `json:"capacity"`
 	Verify    bool   `json:"verify,omitempty"`
+
+	// PeerHint is the base URL of the shard to ask for a cached table
+	// before building one locally, set by the HTTP layer from the
+	// router's X-Pim-Peer header — never from the request body, so
+	// clients cannot steer the service at arbitrary URLs.
+	PeerHint string `json:"-"`
 }
 
 // CostJSON is a cost breakdown in a response.
@@ -142,6 +219,11 @@ type Response struct {
 	Fingerprint string    `json:"fingerprint"`
 	CacheHit    bool      `json:"cache_hit"`
 	ElapsedUS   int64     `json:"elapsed_us"`
+
+	// cacheOutcome remembers how this request resolved against the
+	// table cache; Schedule settles it into the counters only when the
+	// response is actually delivered.
+	cacheOutcome cacheOutcome
 }
 
 // Stats is a snapshot of the service's counters, served at /stats.
@@ -163,6 +245,11 @@ type Stats struct {
 	SessionsCreated  uint64 `json:"sessions_created"`
 	SessionsActive   int    `json:"sessions_active"`
 	DeltasApplied    uint64 `json:"deltas_applied"`
+	Batches          uint64 `json:"batches"`
+	BatchSpecs       uint64 `json:"batch_specs"`
+	PeerFills        uint64 `json:"peer_fills"`
+	PeerFillFallback uint64 `json:"peer_fill_fallbacks"`
+	TablesServed     uint64 `json:"tables_served"`
 }
 
 // Service is a concurrent scheduling service. Create one with New; it
@@ -192,6 +279,11 @@ type Service struct {
 	tablesBuilt      atomic.Uint64
 	sessionsCreated  atomic.Uint64
 	deltasApplied    atomic.Uint64
+	batches          atomic.Uint64
+	batchSpecs       atomic.Uint64
+	peerFills        atomic.Uint64
+	peerFillFallback atomic.Uint64
+	tablesServed     atomic.Uint64
 
 	// deltaLayersRecomputed remembers the layer count of the most recent
 	// session schedule computation, exposed as a gauge: near zero under
@@ -307,6 +399,11 @@ func (s *Service) Stats() Stats {
 		SessionsCreated:  s.sessionsCreated.Load(),
 		SessionsActive:   s.sessionCount(),
 		DeltasApplied:    s.deltasApplied.Load(),
+		Batches:          s.batches.Load(),
+		BatchSpecs:       s.batchSpecs.Load(),
+		PeerFills:        s.peerFills.Load(),
+		PeerFillFallback: s.peerFillFallback.Load(),
+		TablesServed:     s.tablesServed.Load(),
 	}
 	st.CacheHits, st.CacheMisses, st.CacheSharedBuild, st.CacheEvictions, st.CacheEntries = s.cache.counters()
 	return st
@@ -371,6 +468,9 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 	if err != nil {
 		return nil, &RequestError{Err: err}
 	}
+	if err := s.checkTraceScale(tr); err != nil {
+		return nil, err
+	}
 
 	// Refuse after Close; wg.Add under the same lock so Close's Wait
 	// cannot slip between the check and the registration.
@@ -413,32 +513,7 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 		if s.testHookRunning != nil {
 			s.testHookRunning()
 		}
-		entry, builder := s.cache.acquire(fp)
-		if builder {
-			sp := stages.Start("table.build")
-			m := cost.NewModel(tr)
-			// The model outlives this request in the cache, so it must
-			// not capture a request-scoped sink: service histograms only.
-			m.Stages = s.stages
-			s.cache.publish(entry, m, m.BuildResidenceTable())
-			s.tablesBuilt.Add(1)
-			sp.End()
-		} else {
-			select {
-			case <-entry.ready:
-				// Cache hit: record a zero-length span so hit counts
-				// appear alongside build and wait in the stage series.
-				stages.Record("table.hit", 0)
-			default:
-				// Another request is building this entry; its worker
-				// always completes (pure CPU work), so waiting here
-				// cannot hang. Our own caller is still free to time out
-				// via awaitDone.
-				sp := stages.Start("table.wait")
-				<-entry.ready
-				sp.End()
-			}
-		}
+		entry, outcome := s.resolveTable(stages, fp, tr, req.PeerHint)
 		p := &sched.Problem{Model: entry.model, Table: entry.table, Capacity: req.Capacity}
 		sp := stages.Start("sched." + strings.ToLower(scheduler.Name()))
 		schedule, err := scheduler.Schedule(p)
@@ -453,10 +528,11 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 			NumData:     tr.NumData,
 			NumWindows:  tr.NumWindows(),
 			Capacity:    req.Capacity,
-			Centers:     schedule.Centers,
-			Cost:        CostJSON{Residence: bd.Residence, Move: bd.Move, Total: bd.Total()},
-			Fingerprint: fp.String(),
-			CacheHit:    !builder,
+			Centers:      schedule.Centers,
+			Cost:         CostJSON{Residence: bd.Residence, Move: bd.Move, Total: bd.Total()},
+			Fingerprint:  fp.String(),
+			CacheHit:     outcome != cacheOutcomeBuild,
+			cacheOutcome: outcome,
 		}
 		if req.Verify {
 			sp := stages.Start("verify")
@@ -478,7 +554,89 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 		}
 		return resp, nil
 	}
-	return awaitDone(ctx, work, finished)
+	resp, err := awaitDone(ctx, work, finished)
+	if err == nil {
+		// The hit/shared-build counters settle here, on the actual
+		// outcome: a waiter abandoned by its context while the build was
+		// still in flight never delivered a table, so it must not count
+		// as cache traffic (the regression test pins this down).
+		s.cache.settle(resp.cacheOutcome)
+	}
+	return resp, err
+}
+
+// resolveTable resolves a fingerprint against the table cache. The
+// elected builder first tries a peer fill when a hint is present,
+// falling back silently to a local build; non-builders either find the
+// entry ready (hit) or wait out the in-flight build (shared build).
+// The returned entry is always ready. The caller settles the returned
+// outcome into the cache counters once its request completes.
+func (s *Service) resolveTable(stages obs.Stages, fp trace.Fingerprint, tr *trace.Trace, peerHint string) (*cacheEntry, cacheOutcome) {
+	entry, builder := s.cache.acquire(fp)
+	if builder {
+		// The model outlives this request in the cache, so it must
+		// not capture a request-scoped sink: service histograms only.
+		m := cost.NewModel(tr)
+		m.Stages = s.stages
+		if table, ok := s.fetchPeerTable(stages, fp, tr, peerHint); ok {
+			// Adopted, not built: tables_built stays flat, which is what
+			// keeps the fleet-wide tables_built == distinct-traces
+			// invariant true across shard topology changes.
+			s.cache.publish(entry, m, table)
+		} else {
+			sp := stages.Start("table.build")
+			s.cache.publish(entry, m, m.BuildResidenceTable())
+			s.tablesBuilt.Add(1)
+			sp.End()
+		}
+		return entry, cacheOutcomeBuild
+	}
+	select {
+	case <-entry.ready:
+		// Cache hit: record a zero-length span so hit counts
+		// appear alongside build and wait in the stage series.
+		stages.Record("table.hit", 0)
+		return entry, cacheOutcomeHit
+	default:
+		// Another request is building this entry; its worker
+		// always completes (pure CPU work), so waiting here
+		// cannot hang. Our own caller is still free to time out
+		// via awaitDone.
+		sp := stages.Start("table.wait")
+		<-entry.ready
+		sp.End()
+		return entry, cacheOutcomeShared
+	}
+}
+
+// fetchPeerTable asks the hinted peer for its cached table, bounded by
+// the peer-fill deadline. Every failure mode — no hook, no hint, peer
+// down or slow, corrupt payload, or a table whose shape does not match
+// the trace — reports false, and the caller builds locally.
+func (s *Service) fetchPeerTable(stages obs.Stages, fp trace.Fingerprint, tr *trace.Trace, peerHint string) (cost.ResidenceTable, bool) {
+	if s.cfg.PeerFill == nil || peerHint == "" {
+		return cost.ResidenceTable{}, false
+	}
+	// The fetch deadline is independent of the request context: the
+	// builder's work survives an abandoned requester, and the fetch must
+	// stay bounded either way.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.peerFillTimeout())
+	defer cancel()
+	sp := stages.Start("table.peerfill")
+	table, err := s.cfg.PeerFill(ctx, fp, peerHint)
+	sp.End()
+	if err == nil && (table.NumWindows() != tr.NumWindows() ||
+		table.NumData() != tr.NumData || table.NumProcs() != tr.Grid.NumProcs()) {
+		err = fmt.Errorf("peer table shape %dx%dx%d does not match trace %dx%dx%d",
+			table.NumWindows(), table.NumData(), table.NumProcs(),
+			tr.NumWindows(), tr.NumData, tr.Grid.NumProcs())
+	}
+	if err != nil {
+		s.peerFillFallback.Add(1)
+		return cost.ResidenceTable{}, false
+	}
+	s.peerFills.Add(1)
+	return table, true
 }
 
 // awaitDone runs fn in a goroutine and waits for it or for the context,

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"strings"
 	"sync"
@@ -112,6 +114,9 @@ func (s *Service) CreateSession(req CreateSessionRequest) (*SessionInfo, error) 
 	if err != nil {
 		return nil, &RequestError{Err: err}
 	}
+	if err := s.checkTraceScale(tr); err != nil {
+		return nil, err
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -132,7 +137,15 @@ func (s *Service) CreateSession(req CreateSessionRequest) (*SessionInfo, error) 
 	}
 	s.tablesBuilt.Add(1) // the session's private table, built in NewSession
 	s.sessionSeq++
-	id := fmt.Sprintf("s%06d", s.sessionSeq)
+	// The random suffix makes IDs unique across the whole fleet, not
+	// just this instance: a cluster router pins sessions to shards by
+	// ID, and two shards issuing the same "s000001" would cross their
+	// pins. The sequence prefix keeps IDs orderable for humans.
+	var nonce [8]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("service: session id: %w", err)
+	}
+	id := fmt.Sprintf("s%06d-%s", s.sessionSeq, hex.EncodeToString(nonce[:]))
 	if s.sessions == nil {
 		s.sessions = make(map[string]*sessionEntry)
 	}

@@ -34,6 +34,20 @@ type Fingerprint [sha256.Size]byte
 // service telemetry and logs.
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 
+// ParseFingerprint parses the hex form String produces. The cluster
+// tier uses it to turn a /table/{fingerprint} path element back into a
+// cache key.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	if len(s) != hex.EncodedLen(len(f)) {
+		return f, fmt.Errorf("trace: fingerprint %q has %d hex digits, want %d", s, len(s), hex.EncodedLen(len(f)))
+	}
+	if _, err := hex.Decode(f[:], []byte(s)); err != nil {
+		return Fingerprint{}, fmt.Errorf("trace: fingerprint %q: %v", s, err)
+	}
+	return f, nil
+}
+
 // Fingerprint computes the canonical content hash of the trace.
 //
 // The canonical encoding hashed is two-level:

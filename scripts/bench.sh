@@ -22,7 +22,9 @@
 # Check mode: `scripts/bench.sh --check [count]` runs fresh benchmarks
 # and FAILS (exit 1) if either fast kernel's ns/op regressed more than
 # BENCH_DRIFT_FACTOR x against its committed snapshot; it never
-# rewrites the snapshots. BENCH_DRIFT_FACTOR defaults to 2.0 — generous
+# rewrites the snapshots. It also delegates to scripts/loadtest.sh
+# --check, which guards the cluster-path p99s in BENCH_CLUSTER.json
+# (refresh that snapshot with scripts/loadtest.sh). BENCH_DRIFT_FACTOR defaults to 2.0 — generous
 # because CI machines differ from the machine that recorded the
 # snapshot; it is a tripwire for algorithmic regressions (e.g. a naive
 # kernel sneaking back in as default), not a precise perf gate.
@@ -229,6 +231,9 @@ if [ "$CHECK" = 1 ]; then
 	check_drift BENCH_SERVE.json hot_ns_per_op "$SERVE_SUMMARY"
 	check_drift BENCH_SERVE.json hot_p99_us "$SERVE_SUMMARY" us
 	check_drift BENCH_SERVE.json hot_allocs_per_op "$SERVE_SUMMARY" allocs/op
+	echo
+	echo "== cluster loadtest drift (scripts/loadtest.sh --check) =="
+	scripts/loadtest.sh --check
 else
 	echo "$RES_SUMMARY" > BENCH_RESIDENCE.json
 	echo "$SCHED_SUMMARY" > BENCH_SCHED.json

@@ -58,6 +58,17 @@ go test -run '^TestScheduleSteadyStateAllocsBounded$' -v ./internal/service
 echo "== session delete race gates (-race) =="
 go test -race -run '^(TestSessionOpRacingDeleteGets404|TestSessionDeleteRaceStress)$' ./internal/service
 
+# The cluster referees: the in-process multi-backend harness (router
+# over three real services) proving routed, batched, and peer-filled
+# responses bit-identical to single-node serial runs with exactly one
+# table built per distinct trace, plus kill/restart churn losing no
+# accepted request to a non-retried error. The full 100k-spec load
+# variant runs as part of ./... above when invoked without -short;
+# this named -short gate keeps the choreography covered even under
+# narrower invocations.
+echo "== cluster differential harness (-race -short) =="
+go test -race -short -run '^TestCluster' ./internal/cluster
+
 # Metrics scrape gate: boot a real pimserve, issue one schedule request,
 # and scrape /metrics, failing unless the expected series are present.
 # This exercises the full observability path (registry wiring, stage
@@ -99,6 +110,71 @@ trap - EXIT
 rm -f "$SCRAPE_LOG"
 echo "metrics scrape gate passed"
 
+# Cluster scrape gate: boot a real three-shard fleet behind pimrouter,
+# push a small multi-trace load through the router with pimload, and
+# fail unless (a) the router's own pim_router_* series appear on its
+# /metrics and (b) the fleet built exactly one residence table per
+# distinct trace — the sharding invariant, observed over real sockets
+# and separate processes rather than the in-process harness.
+echo "== cluster scrape gate =="
+CLUSTER_DIR="$(mktemp -d)"
+go build -o "$CLUSTER_DIR/pimserve" ./cmd/pimserve
+go build -o "$CLUSTER_DIR/pimrouter" ./cmd/pimrouter
+go build -o "$CLUSTER_DIR/pimload" ./cmd/pimload
+CLUSTER_PIDS=()
+cluster_cleanup() {
+	for pid in "${CLUSTER_PIDS[@]:-}"; do kill -TERM "$pid" 2>/dev/null || true; done
+	for pid in "${CLUSTER_PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+	rm -rf "$CLUSTER_DIR"
+}
+trap cluster_cleanup EXIT
+cluster_addr() { # LOGFILE PROGRAM
+	local addr=""
+	for _ in $(seq 100); do
+		addr="$(sed -n "s/^$2: listening on \([^ ,]*\).*/\1/p" "$1")"
+		[ -n "$addr" ] && curl -sf "http://$addr/healthz" >/dev/null 2>&1 && { echo "$addr"; return 0; }
+		sleep 0.1
+	done
+	echo "check.sh: $2 never came up" >&2; cat "$1" >&2; return 1
+}
+CLUSTER_BACKENDS=""
+CLUSTER_SHARDS=()
+for i in 1 2 3; do
+	"$CLUSTER_DIR/pimserve" -addr 127.0.0.1:0 -peer-fill >"$CLUSTER_DIR/shard$i.log" 2>&1 &
+	CLUSTER_PIDS+=($!)
+	ADDR="$(cluster_addr "$CLUSTER_DIR/shard$i.log" pimserve)"
+	CLUSTER_SHARDS+=("$ADDR")
+	CLUSTER_BACKENDS="${CLUSTER_BACKENDS:+$CLUSTER_BACKENDS,}$ADDR"
+done
+"$CLUSTER_DIR/pimrouter" -addr 127.0.0.1:0 -backends "$CLUSTER_BACKENDS" >"$CLUSTER_DIR/router.log" 2>&1 &
+CLUSTER_PIDS+=($!)
+ROUTER_ADDR="$(cluster_addr "$CLUSTER_DIR/router.log" pimrouter)"
+"$CLUSTER_DIR/pimload" -url "http://$ROUTER_ADDR" -requests 24 -concurrency 4 -traces 6 >/dev/null
+ROUTER_SCRAPE="$(curl -sf "http://$ROUTER_ADDR/metrics")"
+for series in \
+	'pim_router_requests_total 24' \
+	'pim_router_backends_healthy 3' \
+	'pim_router_backends_known 3' \
+	'pim_router_request_duration_seconds_count 24'; do
+	if ! grep -qF "$series" <<<"$ROUTER_SCRAPE"; then
+		echo "check.sh: router /metrics missing series: $series"
+		echo "$ROUTER_SCRAPE"
+		exit 1
+	fi
+done
+FLEET_BUILT=0
+for ADDR in "${CLUSTER_SHARDS[@]}"; do
+	BUILT="$(curl -sf "http://$ADDR/stats" | tr -d '\n' | sed -n 's/.*"tables_built": *\([0-9]*\).*/\1/p')"
+	FLEET_BUILT=$((FLEET_BUILT + BUILT))
+done
+if [ "$FLEET_BUILT" -ne 6 ]; then
+	echo "check.sh: fleet tables_built=$FLEET_BUILT, want 6 (one per distinct trace)"
+	exit 1
+fi
+cluster_cleanup
+trap - EXIT
+echo "cluster scrape gate passed (fleet built 6/6 tables)"
+
 # Fuzz smoke: run each fuzz target's engine briefly under the race
 # detector on top of the committed seed corpus. `go test -fuzz` accepts
 # a pattern matching exactly one target, hence one invocation per
@@ -112,6 +188,8 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -race -run '^$' -fuzz '^FuzzCheckSchedule$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzDeltaApply$' -fuzztime "$FUZZTIME" ./internal/verify
 	go test -race -run '^$' -fuzz '^FuzzFingerprint$' -fuzztime "$FUZZTIME" ./internal/trace
+	go test -race -run '^$' -fuzz '^FuzzBatchDecode$' -fuzztime "$FUZZTIME" ./internal/service
+	go test -race -run '^$' -fuzz '^FuzzTableCodec$' -fuzztime "$FUZZTIME" ./internal/cost
 fi
 
 echo "check.sh: all gates passed"

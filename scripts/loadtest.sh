@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Cluster load snapshot and drift guard: boots three pimserve shards
+# and one pimrouter as real separate processes, drives them with
+# pimload (a closed-loop singles run and a batched run), and records
+# router-path latency percentiles plus per-shard cache effectiveness
+# in BENCH_CLUSTER.json. The run FAILS unless the fleet built exactly
+# one residence table per distinct trace — the router's whole point.
+#
+# Snapshot mode (default): runs the load, prints the summary, rewrites
+# BENCH_CLUSTER.json.
+#
+# Check mode: `scripts/loadtest.sh --check` runs the same load and
+# FAILS (exit 1) if the singles or batch p99 regressed more than
+# LOADTEST_DRIFT_FACTOR x against the committed snapshot (default 3.0
+# — multi-process p99 on a shared CI box is noisy; this is a tripwire
+# for routing or caching regressions, not a precise perf gate). It
+# never rewrites the snapshot. bench.sh --check delegates here.
+#
+# Tunables (env): LOADTEST_REQUESTS (default 600 singles),
+# LOADTEST_BATCHES (default 60 batch requests x 50 specs),
+# LOADTEST_CONCURRENCY (default 8), LOADTEST_TRACES (default 8).
+#
+# Usage: scripts/loadtest.sh [--check]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+	CHECK=1
+	shift
+fi
+
+REQUESTS="${LOADTEST_REQUESTS:-600}"
+BATCHES="${LOADTEST_BATCHES:-60}"
+BATCH_SIZE=50
+CONCURRENCY="${LOADTEST_CONCURRENCY:-8}"
+TRACES="${LOADTEST_TRACES:-8}"
+FACTOR="${LOADTEST_DRIFT_FACTOR:-3.0}"
+
+# pimload's deterministic generator yields 12 distinct trace shapes
+# before wrapping; beyond that the one-table-per-trace invariant below
+# would be counting shapes, not traces.
+if [ "$TRACES" -gt 12 ]; then
+	echo "loadtest.sh: LOADTEST_TRACES=$TRACES exceeds the 12 distinct shapes pimload generates" >&2
+	exit 1
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+	for pid in "${PIDS[@]:-}"; do
+		kill -TERM "$pid" 2>/dev/null || true
+	done
+	for pid in "${PIDS[@]:-}"; do
+		wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$WORK/pimserve" ./cmd/pimserve
+go build -o "$WORK/pimrouter" ./cmd/pimrouter
+go build -o "$WORK/pimload" ./cmd/pimload
+
+# wait_addr LOGFILE PROGRAM — poll a daemon's log for its concrete
+# listen address (both programs print it once the listener is up).
+wait_addr() {
+	local log="$1" prog="$2" addr=""
+	for _ in $(seq 200); do
+		addr="$(sed -n "s/^$prog: listening on \([^ ,]*\).*/\1/p" "$log")"
+		if [ -n "$addr" ] && curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+			echo "$addr"
+			return 0
+		fi
+		sleep 0.05
+	done
+	echo "loadtest.sh: $prog never came up" >&2
+	cat "$log" >&2
+	return 1
+}
+
+echo "== boot 3 shards + router =="
+BACKENDS=""
+SHARD_ADDRS=()
+for i in 1 2 3; do
+	"$WORK/pimserve" -addr 127.0.0.1:0 -peer-fill >"$WORK/shard$i.log" 2>&1 &
+	PIDS+=($!)
+	ADDR="$(wait_addr "$WORK/shard$i.log" pimserve)"
+	SHARD_ADDRS+=("$ADDR")
+	BACKENDS="${BACKENDS:+$BACKENDS,}$ADDR"
+done
+"$WORK/pimrouter" -addr 127.0.0.1:0 -backends "$BACKENDS" -health-interval 250ms \
+	>"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+ROUTER="$(wait_addr "$WORK/router.log" pimrouter)"
+echo "router http://$ROUTER over $BACKENDS"
+
+echo "== singles: $REQUESTS requests, $CONCURRENCY workers, $TRACES traces =="
+SINGLES="$("$WORK/pimload" -url "http://$ROUTER" -requests "$REQUESTS" \
+	-concurrency "$CONCURRENCY" -traces "$TRACES")"
+echo "$SINGLES"
+
+echo "== batches: $BATCHES x $BATCH_SIZE specs =="
+BATCHED="$("$WORK/pimload" -url "http://$ROUTER" -requests "$BATCHES" \
+	-concurrency "$CONCURRENCY" -traces "$TRACES" -batch "$BATCH_SIZE")"
+echo "$BATCHED"
+
+# field JSON KEY — pull one numeric field out of a pimload report.
+field() {
+	echo "$1" | sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" | head -1
+}
+
+echo "== per-shard cache effectiveness =="
+BUILT_TOTAL=0
+BUILT_LIST=""
+for ADDR in "${SHARD_ADDRS[@]}"; do
+	STATS="$(curl -sf "http://$ADDR/stats")"
+	BUILT="$(echo "$STATS" | tr -d '\n' | sed -n 's/.*"tables_built": *\([0-9]*\).*/\1/p')"
+	echo "shard $ADDR tables_built=$BUILT"
+	BUILT_TOTAL=$((BUILT_TOTAL + BUILT))
+	BUILT_LIST="${BUILT_LIST:+$BUILT_LIST, }$BUILT"
+done
+# Both pimload runs cycle the same deterministic trace shapes, so the
+# fleet must hold exactly one table per distinct trace: more means the
+# router split a trace's keyspace across shards, fewer means requests
+# were silently dropped.
+if [ "$BUILT_TOTAL" -ne "$TRACES" ]; then
+	echo "loadtest.sh: fleet tables_built=$BUILT_TOTAL, want $TRACES (one per distinct trace)" >&2
+	exit 1
+fi
+echo "fleet tables_built=$BUILT_TOTAL over $TRACES distinct traces"
+
+SUMMARY="$(cat <<EOF
+{
+  "benchmark": "cluster-loadtest",
+  "shards": 3,
+  "traces": $TRACES,
+  "singles_requests": $REQUESTS,
+  "singles_p50_us": $(field "$SINGLES" p50_us),
+  "singles_p99_us": $(field "$SINGLES" p99_us),
+  "singles_requests_per_s": $(field "$SINGLES" requests_per_s),
+  "batch_requests": $BATCHES,
+  "batch_size": $BATCH_SIZE,
+  "batch_p50_us": $(field "$BATCHED" p50_us),
+  "batch_p99_us": $(field "$BATCHED" p99_us),
+  "batch_specs_per_s": $(field "$BATCHED" specs_per_s),
+  "fleet_tables_built": $BUILT_TOTAL,
+  "per_shard_tables_built": [$BUILT_LIST]
+}
+EOF
+)"
+
+if [ "$CHECK" = 1 ]; then
+	if [ ! -f BENCH_CLUSTER.json ]; then
+		echo "loadtest.sh --check: no BENCH_CLUSTER.json snapshot to compare against" >&2
+		exit 1
+	fi
+	for key in singles_p99_us batch_p99_us; do
+		FRESH="$(field "$SUMMARY" "$key")"
+		BASE="$(sed -n "s/.*\"$key\": \([0-9.]*\).*/\1/p" BENCH_CLUSTER.json | head -1)"
+		if [ -z "$FRESH" ] || [ -z "$BASE" ]; then
+			echo "loadtest.sh --check: could not parse $key (fresh='$FRESH' base='$BASE')" >&2
+			exit 1
+		fi
+		echo "loadtest.sh --check: $key fresh ${FRESH}us vs snapshot ${BASE}us (allowed ${FACTOR}x)"
+		awk -v fresh="$FRESH" -v base="$BASE" -v factor="$FACTOR" -v key="$key" 'BEGIN {
+			if (fresh > base * factor) {
+				printf "loadtest.sh --check: REGRESSION in %s: %.0fus > %.2f x %.0fus\n", key, fresh, factor, base > "/dev/stderr"
+				exit 1
+			}
+			printf "loadtest.sh --check: ok (%.2fx of snapshot)\n", fresh / base
+		}'
+	done
+else
+	echo "$SUMMARY" > BENCH_CLUSTER.json
+	echo
+	echo "loadtest.sh: wrote BENCH_CLUSTER.json"
+	cat BENCH_CLUSTER.json
+fi
