@@ -11,9 +11,12 @@
 // With -batch N each request is a POST /schedule/batch carrying N
 // specs for one trace; otherwise requests are single POST /schedule
 // calls. Shed responses (503/429) are retried with backoff and counted
-// separately — only non-retryable failures count as errors, and any
-// error fails the run. The report is one JSON object on stdout,
-// suitable for scripts/loadtest.sh and BENCH_CLUSTER.json.
+// separately — only non-retryable failures count as errors. Failed
+// requests are counted, not fatal mid-run: the report is always
+// emitted (percentiles over the successes, explicit zeros when every
+// request failed — never NaN), and any failure makes the exit status
+// nonzero. The report is one JSON object on stdout, suitable for
+// scripts/loadtest.sh and BENCH_CLUSTER.json.
 package main
 
 import (
@@ -48,6 +51,8 @@ func main() {
 type Report struct {
 	URL         string  `json:"url"`
 	Requests    int     `json:"requests"`
+	Succeeded   int     `json:"succeeded"`
+	Failed      int     `json:"failed"`
 	Specs       int     `json:"specs"`
 	Batch       int     `json:"batch"`
 	Concurrency int     `json:"concurrency"`
@@ -72,11 +77,15 @@ func run(args []string, out io.Writer) error {
 	algorithm := fs.String("algorithm", "scds", "scheduling algorithm for every spec")
 	capacity := fs.Int("capacity", 0, "per-processor capacity for every spec; 0 = uncapacitated")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client deadline")
+	maxShedRetries := fs.Int("max-shed-retries", 50, "attempts per request before a shed response (503/429) counts as a failure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *requests <= 0 || *concurrency <= 0 || *traces <= 0 {
 		return fmt.Errorf("-requests, -concurrency, and -traces must be positive")
+	}
+	if *maxShedRetries <= 0 {
+		return fmt.Errorf("-max-shed-retries must be positive")
 	}
 
 	bodies, err := buildBodies(*traces, *batch, *algorithm, *capacity)
@@ -93,9 +102,13 @@ func run(args []string, out io.Writer) error {
 		path = *url + "/schedule/batch"
 	}
 
+	// ok marks which latency slots hold a successful request, so the
+	// percentile pass can select successes without a lock in the loop.
 	latencies := make([]int64, *requests)
-	var next, shed atomic.Uint64
-	errc := make(chan error, *concurrency)
+	ok := make([]bool, *requests)
+	var next, shed, failed atomic.Uint64
+	var errMu sync.Mutex
+	var firstErr error
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
@@ -108,51 +121,72 @@ func run(args []string, out io.Writer) error {
 					return
 				}
 				t0 := time.Now()
-				if err := post(client, path, bodies[n%len(bodies)], &shed); err != nil {
-					errc <- fmt.Errorf("request %d: %w", n, err)
-					return
+				if err := post(client, path, bodies[n%len(bodies)], &shed, *maxShedRetries); err != nil {
+					// Count and continue: one bad request must not
+					// abort the run or poison the report with the
+					// zero-latency slots of requests never issued.
+					failed.Add(1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("request %d: %w", n, err)
+					}
+					errMu.Unlock()
+					continue
 				}
 				latencies[n] = time.Since(t0).Microseconds()
+				ok[n] = true
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	close(errc)
-	for err := range errc {
-		if err != nil {
-			return err
+
+	succeeded := make([]int64, 0, *requests)
+	for i, l := range latencies {
+		if ok[i] {
+			succeeded = append(succeeded, l)
 		}
 	}
-
+	sort.Slice(succeeded, func(i, j int) bool { return succeeded[i] < succeeded[j] })
+	// Percentiles are over successes only; with none they are explicit
+	// zeros — a NaN here breaks every downstream JSON parser.
+	pct := func(p float64) int64 {
+		if len(succeeded) == 0 {
+			return 0
+		}
+		return succeeded[int(p*float64(len(succeeded)-1))]
+	}
 	specsPer := 1
 	if *batch > 1 {
 		specsPer = *batch
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) int64 {
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
 	report := Report{
 		URL:         *url,
 		Requests:    *requests,
-		Specs:       *requests * specsPer,
+		Succeeded:   len(succeeded),
+		Failed:      int(failed.Load()),
+		Specs:       len(succeeded) * specsPer,
 		Batch:       *batch,
 		Concurrency: *concurrency,
 		Traces:      *traces,
 		ShedRetries: shed.Load(),
 		ElapsedS:    elapsed.Seconds(),
-		RequestsPS:  float64(*requests) / elapsed.Seconds(),
-		SpecsPS:     float64(*requests*specsPer) / elapsed.Seconds(),
+		RequestsPS:  float64(len(succeeded)) / elapsed.Seconds(),
+		SpecsPS:     float64(len(succeeded)*specsPer) / elapsed.Seconds(),
 		P50US:       pct(0.50),
 		P90US:       pct(0.90),
 		P99US:       pct(0.99),
-		MaxUS:       latencies[len(latencies)-1],
+		MaxUS:       pct(1.0),
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %v)", n, *requests, firstErr)
+	}
+	return nil
 }
 
 // buildBodies pre-marshals one request body per distinct trace so the
@@ -187,8 +221,8 @@ func buildBodies(traces, batch int, algorithm string, capacity int) ([][]byte, e
 // post issues one request, retrying shed-class responses (503 with an
 // empty ring mid-churn, 429 under overload) with backoff. Any other
 // non-200 is a hard error carrying the response body.
-func post(client *http.Client, url string, body []byte, shed *atomic.Uint64) error {
-	for attempt := 0; attempt < 50; attempt++ {
+func post(client *http.Client, url string, body []byte, shed *atomic.Uint64, maxShedRetries int) error {
+	for attempt := 0; attempt < maxShedRetries; attempt++ {
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -208,5 +242,5 @@ func post(client *http.Client, url string, body []byte, shed *atomic.Uint64) err
 			return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
 		}
 	}
-	return fmt.Errorf("still shed after 50 attempts")
+	return fmt.Errorf("still shed after %d attempts", maxShedRetries)
 }

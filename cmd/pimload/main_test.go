@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/service"
@@ -48,6 +50,46 @@ func TestRunSinglesAndBatchesAgainstRealService(t *testing.T) {
 	// exactly 5 tables across both runs, everything else cache hits.
 	if st := svc.Stats(); st.TablesBuilt != 5 {
 		t.Fatalf("tables_built = %d, want 5 distinct traces", st.TablesBuilt)
+	}
+}
+
+// TestRunAllRequestsFailStillReports is the div-by-zero regression: a
+// backend that sheds every request forever must yield a full report
+// with explicit zero percentiles (never NaN or a panic) plus a nonzero
+// exit, with every failure counted.
+func TestRunAllRequestsFailStillReports(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "no capacity", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-requests", "6", "-concurrency", "3", "-traces", "2",
+		"-max-shed-retries", "2",
+	}, &out)
+	if err == nil {
+		t.Fatal("run reported success when every request failed")
+	}
+	var rep Report
+	if jsonErr := json.Unmarshal(out.Bytes(), &rep); jsonErr != nil {
+		t.Fatalf("no parseable report on total failure: %v\n%s", jsonErr, out.String())
+	}
+	if rep.Requests != 6 || rep.Succeeded != 0 || rep.Failed != 6 {
+		t.Fatalf("counts wrong on total failure: %+v", rep)
+	}
+	if rep.P50US != 0 || rep.P90US != 0 || rep.P99US != 0 || rep.MaxUS != 0 {
+		t.Fatalf("percentiles must be explicit zeros with no successes: %+v", rep)
+	}
+	if rep.RequestsPS != 0 || rep.SpecsPS != 0 || rep.Specs != 0 {
+		t.Fatalf("throughput must be zero with no successes: %+v", rep)
+	}
+	if rep.ShedRetries == 0 {
+		t.Fatalf("shed responses were not counted: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "6 of 6 requests failed") {
+		t.Fatalf("error does not carry the failure count: %v", err)
 	}
 }
 

@@ -112,8 +112,8 @@ func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.
 	}
 	server := &http.Server{Handler: handler}
 
-	fmt.Fprintf(out, "pimserve: listening on %s (inflight %d, cache %d, timeout %v)\n",
-		ln.Addr(), cfg.MaxInflight, cfg.CacheSize, cfg.Timeout)
+	fmt.Fprintf(out, "pimserve: listening on %s (inflight %d, cache %d, timeout %v, peer-fill %v)\n",
+		ln.Addr(), cfg.MaxInflight, cfg.CacheSize, cfg.Timeout, cfg.PeerFill != nil)
 
 	var debugServer *http.Server
 	if opts.debugLn != nil {

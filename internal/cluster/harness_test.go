@@ -78,7 +78,10 @@ func (b *restartableBackend) kill() {
 	}
 	b.srv.Close()
 	b.srv = nil
+	// Hand the service over to retired and clear the live slot, or
+	// stats() would count the dead incarnation twice until a restart.
 	b.retired = append(b.retired, b.svc)
+	b.svc = nil
 }
 
 // restart rebinds the same address with a fresh service — empty cache,

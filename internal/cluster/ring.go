@@ -131,6 +131,44 @@ func (r *Ring) Owner(key []byte) (backend string, ok bool) {
 	return r.ownerLocked(key, "")
 }
 
+// Owners returns up to n distinct backends for key in ownership order:
+// the primary first (identical to Owner), then the next distinct
+// backends clockwise around the ring. This is the replication walk —
+// with a replication factor R, Owners(key, R)[1:] are the replicas
+// that hold a copy of the key's table so the primary's death is a
+// failover, not a rebuild. Fewer than n members yields all of them;
+// an empty ring yields nil. The returned slice is freshly allocated.
+func (r *Ring) Owners(key []byte, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	h := ringHash(key)
+	pts := len(r.points)
+	start := sort.Search(pts, func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < pts && len(out) < n; i++ {
+		p := r.points[(start+i)%pts]
+		if !contains(out, p.backend) {
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
 // OwnerExcluding returns who would own key if exclude were not a
 // member. For a key owned by exclude, that is both the owner before
 // exclude joined and the inheritor after it leaves — which makes it the

@@ -145,6 +145,45 @@ func TestRingOwnerExcludingMatchesInheritance(t *testing.T) {
 	}
 }
 
+// Owners is the replication walk: Owners(key, n)[0] must be Owner,
+// every entry distinct, and — the property failover leans on —
+// removing the primary makes the old Owners(key, 2)[1] the new Owner,
+// so a pushed replica is by construction the inheritor.
+func TestRingOwnersReplicationWalk(t *testing.T) {
+	backends := []string{"http://b0/", "http://b1/", "http://b2/", "http://b3/"}
+	for _, k := range ringKeys(500) {
+		r := NewRing(32)
+		for _, b := range backends {
+			r.Add(b)
+		}
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("key %q: Owners(2) = %v, want two distinct backends", k, owners)
+		}
+		if primary, _ := r.Owner(k); owners[0] != primary {
+			t.Fatalf("key %q: Owners[0] = %s, Owner = %s", k, owners[0], primary)
+		}
+		all := r.Owners(k, len(backends)+3)
+		if len(all) != len(backends) {
+			t.Fatalf("key %q: Owners beyond membership returned %v", k, all)
+		}
+		seen := map[string]bool{}
+		for _, b := range all {
+			if seen[b] {
+				t.Fatalf("key %q: duplicate owner %s in %v", k, b, all)
+			}
+			seen[b] = true
+		}
+		r.Remove(owners[0])
+		if inherited, _ := r.Owner(k); inherited != owners[1] {
+			t.Fatalf("key %q: replica %s is not the inheritor %s", k, owners[1], inherited)
+		}
+	}
+	if got := NewRing(16).Owners([]byte("k"), 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+}
+
 func TestRingEdgeCases(t *testing.T) {
 	r := NewRing(16)
 	if _, ok := r.Owner([]byte("k")); ok {

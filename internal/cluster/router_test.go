@@ -250,13 +250,121 @@ func TestRouterHealthEjectAndReadmit(t *testing.T) {
 		t.Fatalf("sweep on a stable-sick fleet moved counters: %+v", st)
 	}
 
+	// One passing probe is not enough: readmission needs
+	// DefaultReadmitAfter consecutive successes, so the first good sweep
+	// only builds streak.
 	setHealthy(true)
+	rt.CheckHealth()
+	if rt.Ring().Has(wrapped.URL) {
+		t.Fatal("backend readmitted after a single passing probe")
+	}
+	if st := rt.Stats(); st.Readmissions != 0 {
+		t.Fatalf("readmissions = %d after one passing probe, want 0", st.Readmissions)
+	}
+
 	rt.CheckHealth()
 	if !rt.Ring().Has(wrapped.URL) || rt.Ring().Len() != 2 {
 		t.Fatal("recovered backend not readmitted")
 	}
 	if st := rt.Stats(); st.Readmissions != 1 {
 		t.Fatalf("readmissions = %d, want 1", st.Readmissions)
+	}
+}
+
+// A backend that alternates one passing and one failing probe must stay
+// out of the ring: before the consecutive-success requirement, every
+// good probe readmitted it and every bad one ejected it, remapping its
+// keys twice per cycle.
+func TestRouterFlappingBackendStaysEjected(t *testing.T) {
+	steady := newBackend(t, service.Config{})
+
+	// Scripted backend: /healthz alternates 200 and 503 per probe.
+	var probes atomic.Uint64
+	flapping := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && probes.Add(1)%2 == 1 {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "flap", http.StatusServiceUnavailable)
+	}))
+	defer flapping.Close()
+
+	rt, _ := newTestRouter(t, RouterConfig{Backends: []string{flapping.URL, steady.ts.URL}})
+
+	// First sweep probes healthy (probe 1, odd): the member stays.
+	rt.CheckHealth()
+	if !rt.Ring().Has(flapping.URL) {
+		t.Fatal("healthy first probe ejected the backend")
+	}
+	// Second sweep fails (probe 2): ejected. From here on the backend
+	// alternates pass/fail, never reaching two consecutive passes, so
+	// it must never rejoin.
+	for i := 0; i < 10; i++ {
+		rt.CheckHealth()
+		if i > 0 && rt.Ring().Has(flapping.URL) {
+			t.Fatalf("flapping backend readmitted on sweep %d", i)
+		}
+	}
+	st := rt.Stats()
+	if st.Ejections != 1 {
+		t.Fatalf("ejections = %d, want exactly 1 (eject once, stay out)", st.Ejections)
+	}
+	if st.Readmissions != 0 {
+		t.Fatalf("readmissions = %d, want 0 for a flapping backend", st.Readmissions)
+	}
+}
+
+// The pin map must forget sessions: any 2xx DELETE observed through the
+// router removes the pin, and ejecting a backend drops the pins of the
+// sessions that died with it. Before the fix both paths leaked an entry
+// per session forever.
+func TestRouterSessionPinMapForgets(t *testing.T) {
+	backends := []*backend{newBackend(t, service.Config{}), newBackend(t, service.Config{})}
+	rt, ts := newTestRouter(t, RouterConfig{Backends: backendURLs(backends)})
+
+	ids := make([]string, 8)
+	for i := range ids {
+		status, body := postJSON(t, ts.Client(), ts.URL+"/session",
+			service.CreateSessionRequest{Trace: clusterTrace(t, i), Algorithm: "scds"})
+		if status != http.StatusCreated {
+			t.Fatalf("create session %d: status %d: %s", i, status, body)
+		}
+		var info struct {
+			SessionID string `json:"session_id"`
+		}
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.SessionID
+	}
+	if st := rt.Stats(); st.SessionsPinned != len(ids) {
+		t.Fatalf("sessions_pinned = %d, want %d", st.SessionsPinned, len(ids))
+	}
+
+	// Delete half through the router: each observed 2xx must unpin.
+	for _, id := range ids[:4] {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+id, nil)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAllAndClose(resp)
+		if resp.StatusCode/100 != 2 {
+			t.Fatalf("delete %s: status %d", id, resp.StatusCode)
+		}
+	}
+	if st := rt.Stats(); st.SessionsPinned != 4 {
+		t.Fatalf("sessions_pinned = %d after 4 deletes, want 4 (pin map leak)", st.SessionsPinned)
+	}
+
+	// Ejecting a backend must drop the pins of its sessions: they died
+	// with the process, and a retained pin is both a memory leak and a
+	// guaranteed-failing route.
+	for _, b := range backends {
+		rt.eject(b.ts.URL)
+	}
+	if st := rt.Stats(); st.SessionsPinned != 0 {
+		t.Fatalf("sessions_pinned = %d after ejecting every backend, want 0", st.SessionsPinned)
 	}
 }
 

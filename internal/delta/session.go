@@ -116,6 +116,34 @@ type itemState struct {
 // residence table are built once here and patched in place ever after.
 // The scheduler and capacity are fixed for the session's lifetime.
 func NewSession(t *trace.Trace, scheduler sched.Scheduler, capacity int, opts Options) (*Session, error) {
+	return newSession(t, scheduler, capacity, 0, nil, opts)
+}
+
+// RestoreSession rebuilds a session from migrated state: the
+// materialized trace, the session's delta sequence counter, and the
+// residence table the previous owner already built and patched. The
+// table is adopted, not rebuilt — migration is a transfer — and the
+// caller hands over ownership of it. Its shape must match the trace;
+// content integrity is the caller's concern (the service layer pins it
+// to the exported fingerprint through the pimtab-v1 echo). Per-item DP
+// state starts fully dirty, so the first Schedule call re-solves every
+// item from the adopted table; results are bit-identical to the
+// originating session because the DP is a pure function of the table.
+func RestoreSession(t *trace.Trace, scheduler sched.Scheduler, capacity int, seq uint64, table cost.ResidenceTable, opts Options) (*Session, error) {
+	if t != nil {
+		if table.NumWindows() != len(t.Windows) || table.NumData() != t.NumData ||
+			table.NumProcs() != t.Grid.NumProcs() {
+			return nil, fmt.Errorf("delta: restored table shape %dx%dx%d does not match trace %dx%dx%d",
+				table.NumWindows(), table.NumData(), table.NumProcs(),
+				len(t.Windows), t.NumData, t.Grid.NumProcs())
+		}
+	}
+	return newSession(t, scheduler, capacity, seq, &table, opts)
+}
+
+// newSession is the shared constructor: with table == nil the residence
+// table is built from the trace; otherwise the given table is adopted.
+func newSession(t *trace.Trace, scheduler sched.Scheduler, capacity int, seq uint64, table *cost.ResidenceTable, opts Options) (*Session, error) {
 	if t == nil {
 		return nil, fmt.Errorf("delta: nil trace")
 	}
@@ -135,11 +163,16 @@ func NewSession(t *trace.Trace, scheduler sched.Scheduler, capacity int, opts Op
 		tr:        tr,
 		fp:        trace.NewFingerprinter(tr.Grid, tr.NumData),
 		model:     model,
-		table:     model.BuildResidenceTable(),
 		scheduler: scheduler,
 		capacity:  capacity,
+		seq:       seq,
 		stages:    opts.Stages,
 		onLayers:  opts.OnLayersRecomputed,
+	}
+	if table != nil {
+		s.table = *table
+	} else {
+		s.table = model.BuildResidenceTable()
 	}
 	s.sc = model.NewRowScratch()
 	for i := range tr.Windows {

@@ -120,6 +120,34 @@ func (c *tableCache) peek(fp trace.Fingerprint) (*cacheEntry, bool) {
 	return e, true
 }
 
+// adopt inserts a ready entry for fp if the fingerprint is absent,
+// reporting whether the insert happened. It is the replica-prefill
+// path: a pushed table is not a demand miss, so adopt counts neither
+// miss nor hit — only the eviction it may force — keeping the cache
+// statistics about local request traffic. An entry already present
+// (ready or still building) wins; the caller drops its table.
+func (c *tableCache) adopt(fp trace.Fingerprint, m *cost.Model, t cost.ResidenceTable) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[fp]; ok {
+		return false
+	}
+	e := &cacheEntry{fp: fp, ready: make(chan struct{}), model: m, table: t}
+	close(e.ready)
+	el := c.ll.PushFront(e)
+	c.items[fp] = el
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		if back == el {
+			break
+		}
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).fp)
+		c.evictions++
+	}
+	return true
+}
+
 // settle records how a completed request resolved against the cache.
 // The request path calls it exactly once per successful request, after
 // the response is in hand; abandoned waiters (context expired while

@@ -21,10 +21,13 @@ import (
 //	POST   /schedule[?verify=true]     run a scheduler over an inline trace
 //	POST   /schedule/batch             run many specs over one shared trace
 //	GET    /table/{fingerprint}        serve a cached residence table (peer fill)
+//	POST   /table/prefill              adopt a trace's table from a peer (replication)
 //	POST   /session                    open an incremental session
 //	GET    /session/{id}               describe a session
 //	POST   /session/{id}/delta         apply one trace delta
 //	POST   /session/{id}/schedule      schedule the session's current trace
+//	POST   /session/{id}/export        serialize a session for migration
+//	POST   /session/import             resume an exported session
 //	DELETE /session/{id}               close a session
 //	GET    /healthz                    liveness (503 once shutdown began)
 //	GET    /stats                      counter snapshot as JSON
@@ -40,11 +43,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /schedule/batch", s.handleScheduleBatch)
 	mux.HandleFunc("GET /table/{fingerprint}", s.handleTableGet)
+	mux.HandleFunc("POST /table/prefill", s.handleTablePrefill)
 	mux.HandleFunc("POST /session", s.handleSessionCreate)
 	mux.HandleFunc("GET /session/{id}", s.handleSessionInfo)
 	mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	mux.HandleFunc("POST /session/{id}/delta", s.handleSessionDelta)
 	mux.HandleFunc("POST /session/{id}/schedule", s.handleSessionSchedule)
+	mux.HandleFunc("POST /session/{id}/export", s.handleSessionExport)
+	mux.HandleFunc("POST /session/import", s.handleSessionImport)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
@@ -198,9 +204,12 @@ func putBuffer(b *bytes.Buffer) {
 func (s *Service) sessionError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var notFound *ErrSessionNotFound
+	var exists *ErrSessionExists
 	switch {
 	case errors.As(err, &notFound):
 		status = http.StatusNotFound
+	case errors.As(err, &exists):
+		status = http.StatusConflict
 	case isRequestError(err):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
@@ -262,6 +271,55 @@ func (s *Service) handleSessionSchedule(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSessionExport(w http.ResponseWriter, r *http.Request) {
+	exp, err := s.ExportSession(r.PathValue("id"))
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, exp)
+}
+
+func (s *Service) handleSessionImport(w http.ResponseWriter, r *http.Request) {
+	var exp SessionExport
+	if !s.decodeBody(w, r, &exp) {
+		return
+	}
+	info, err := s.ImportSession(exp)
+	if err != nil {
+		s.sessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleTablePrefill is the push side of replicated ownership: the
+// router names a trace and a peer, and this shard pulls the table from
+// that peer into its cache. 204 on success or no-op; 501 when the
+// service has no peer-fill hook; 502 when the peer fetch failed (the
+// router retries on the key's next request).
+func (s *Service) handleTablePrefill(w http.ResponseWriter, r *http.Request) {
+	var req PrefillRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	req.PeerHint = r.Header.Get(PeerHintHeader)
+	if err := s.Prefill(r.Context(), req); err != nil {
+		status := http.StatusBadGateway
+		switch {
+		case isRequestError(err):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrNoPeerFill):
+			status = http.StatusNotImplemented
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -64,6 +64,9 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	reg.CounterFunc("pim_peer_fills_total", "Residence tables adopted from a peer shard instead of built.", s.peerFills.Load)
 	reg.CounterFunc("pim_peer_fill_fallbacks_total", "Peer-fill attempts that fell back to a local build.", s.peerFillFallback.Load)
 	reg.CounterFunc("pim_tables_served_total", "Cached residence tables served to peer shards.", s.tablesServed.Load)
+	reg.CounterFunc("pim_tables_prefilled_total", "Residence tables adopted via router-pushed replica prefill.", s.tablesPrefilled.Load)
+	reg.CounterFunc("pim_sessions_exported_total", "Sessions serialized for migration to another shard.", s.sessionsExported.Load)
+	reg.CounterFunc("pim_sessions_imported_total", "Migrated sessions resumed from another shard's export.", s.sessionsImported.Load)
 
 	reg.CounterFunc("pim_sessions_created_total", "Incremental scheduling sessions opened.", s.sessionsCreated.Load)
 	reg.CounterFunc("pim_deltas_applied_total", "Trace deltas applied across all sessions.", s.deltasApplied.Load)

@@ -250,6 +250,9 @@ type Stats struct {
 	PeerFills        uint64 `json:"peer_fills"`
 	PeerFillFallback uint64 `json:"peer_fill_fallbacks"`
 	TablesServed     uint64 `json:"tables_served"`
+	TablesPrefilled  uint64 `json:"tables_prefilled"`
+	SessionsExported uint64 `json:"sessions_exported"`
+	SessionsImported uint64 `json:"sessions_imported"`
 }
 
 // Service is a concurrent scheduling service. Create one with New; it
@@ -284,6 +287,9 @@ type Service struct {
 	peerFills        atomic.Uint64
 	peerFillFallback atomic.Uint64
 	tablesServed     atomic.Uint64
+	tablesPrefilled  atomic.Uint64
+	sessionsExported atomic.Uint64
+	sessionsImported atomic.Uint64
 
 	// deltaLayersRecomputed remembers the layer count of the most recent
 	// session schedule computation, exposed as a gauge: near zero under
@@ -404,6 +410,9 @@ func (s *Service) Stats() Stats {
 		PeerFills:        s.peerFills.Load(),
 		PeerFillFallback: s.peerFillFallback.Load(),
 		TablesServed:     s.tablesServed.Load(),
+		TablesPrefilled:  s.tablesPrefilled.Load(),
+		SessionsExported: s.sessionsExported.Load(),
+		SessionsImported: s.sessionsImported.Load(),
 	}
 	st.CacheHits, st.CacheMisses, st.CacheSharedBuild, st.CacheEvictions, st.CacheEntries = s.cache.counters()
 	return st

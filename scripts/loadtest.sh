@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Cluster load snapshot and drift guard: boots three pimserve shards
 # and one pimrouter as real separate processes, drives them with
-# pimload (a closed-loop singles run and a batched run), and records
-# router-path latency percentiles plus per-shard cache effectiveness
-# in BENCH_CLUSTER.json. The run FAILS unless the fleet built exactly
-# one residence table per distinct trace — the router's whole point.
+# pimload (a closed-loop singles run, a batched run, then a failover
+# run with one shard SIGKILLed), and records router-path latency
+# percentiles plus per-shard cache effectiveness in BENCH_CLUSTER.json.
+# The run FAILS unless the fleet built exactly one residence table per
+# distinct trace, and unless the surviving shards build nothing new
+# across the kill (replication makes failover rebuild-free).
 #
 # Snapshot mode (default): runs the load, prints the summary, rewrites
 # BENCH_CLUSTER.json.
@@ -131,6 +133,48 @@ if [ "$BUILT_TOTAL" -ne "$TRACES" ]; then
 fi
 echo "fleet tables_built=$BUILT_TOTAL over $TRACES distinct traces"
 
+# Failover phase: with replication (R=2 default) every key's table has
+# a pushed replica. Wait for the fills to settle, SIGKILL shard 1, let
+# the health loop eject it, and re-run the singles load: requests fail
+# over to replicas, the surviving shards build nothing new, and the
+# failover-path p99 lands in the snapshot under the same drift guard.
+echo "== failover: kill shard 1, re-drive $REQUESTS singles =="
+PENDING=""
+for _ in $(seq 200); do
+	PENDING="$(curl -sf "http://$ROUTER/stats" | tr -d '\n' | sed -n 's/.*"replica_fills_pending": *\([0-9]*\).*/\1/p')"
+	[ "$PENDING" = "0" ] && break
+	sleep 0.05
+done
+[ "$PENDING" = "0" ] || { echo "loadtest.sh: replica fills never settled" >&2; exit 1; }
+SURVIVOR_BUILT_PRE=0
+for ADDR in "${SHARD_ADDRS[@]:1}"; do
+	B="$(curl -sf "http://$ADDR/stats" | tr -d '\n' | sed -n 's/.*"tables_built": *\([0-9]*\).*/\1/p')"
+	SURVIVOR_BUILT_PRE=$((SURVIVOR_BUILT_PRE + B))
+done
+kill -9 "${PIDS[0]}" 2>/dev/null || true
+wait "${PIDS[0]}" 2>/dev/null || true
+for _ in $(seq 200); do
+	curl -sf "http://$ROUTER/metrics" | grep -q '^pim_router_backends_healthy 2$' && break
+	sleep 0.05
+done
+if ! curl -sf "http://$ROUTER/metrics" | grep -q '^pim_router_backends_healthy 2$'; then
+	echo "loadtest.sh: router never ejected the killed shard" >&2
+	exit 1
+fi
+FAILOVER="$("$WORK/pimload" -url "http://$ROUTER" -requests "$REQUESTS" \
+	-concurrency "$CONCURRENCY" -traces "$TRACES")"
+echo "$FAILOVER"
+SURVIVOR_BUILT_POST=0
+for ADDR in "${SHARD_ADDRS[@]:1}"; do
+	B="$(curl -sf "http://$ADDR/stats" | tr -d '\n' | sed -n 's/.*"tables_built": *\([0-9]*\).*/\1/p')"
+	SURVIVOR_BUILT_POST=$((SURVIVOR_BUILT_POST + B))
+done
+if [ "$SURVIVOR_BUILT_POST" -ne "$SURVIVOR_BUILT_PRE" ]; then
+	echo "loadtest.sh: survivors built $((SURVIVOR_BUILT_POST - SURVIVOR_BUILT_PRE)) new tables across the kill; failover must serve from replicas" >&2
+	exit 1
+fi
+echo "failover: survivors built 0 new tables"
+
 SUMMARY="$(cat <<EOF
 {
   "benchmark": "cluster-loadtest",
@@ -145,6 +189,10 @@ SUMMARY="$(cat <<EOF
   "batch_p50_us": $(field "$BATCHED" p50_us),
   "batch_p99_us": $(field "$BATCHED" p99_us),
   "batch_specs_per_s": $(field "$BATCHED" specs_per_s),
+  "failover_requests": $REQUESTS,
+  "failover_p50_us": $(field "$FAILOVER" p50_us),
+  "failover_p99_us": $(field "$FAILOVER" p99_us),
+  "failover_requests_per_s": $(field "$FAILOVER" requests_per_s),
   "fleet_tables_built": $BUILT_TOTAL,
   "per_shard_tables_built": [$BUILT_LIST]
 }
@@ -156,7 +204,7 @@ if [ "$CHECK" = 1 ]; then
 		echo "loadtest.sh --check: no BENCH_CLUSTER.json snapshot to compare against" >&2
 		exit 1
 	fi
-	for key in singles_p99_us batch_p99_us; do
+	for key in singles_p99_us batch_p99_us failover_p99_us; do
 		FRESH="$(field "$SUMMARY" "$key")"
 		BASE="$(sed -n "s/.*\"$key\": \([0-9.]*\).*/\1/p" BENCH_CLUSTER.json | head -1)"
 		if [ -z "$FRESH" ] || [ -z "$BASE" ]; then
