@@ -54,7 +54,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pimserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	inflight := fs.Int("inflight", 2*runtime.GOMAXPROCS(0), "max concurrent schedule computations; 0 = unbounded")
-	cacheSize := fs.Int("cache", service.DefaultCacheSize, "residence-table cache entries")
+	cacheSize := fs.Int("cache", service.DefaultCacheSize, "residence-table cache entries (both tiers)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "residence-table cache byte budget across the flat hot tier and compressed cold tier; 0 = cache entries x 4 MiB")
+	coldTier := fs.Bool("cold-tier", true, "demote over-budget tables into a compressed cold tier instead of evicting them (false = flat one-tier LRU)")
+	maxTableCells := fs.Int64("max-table-cells", service.DefaultMaxTableCells, "max residence-table cells accepted per trace or shipped table payload")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline; 0 = none")
 	maxBody := fs.Int64("max-body", service.DefaultMaxBodyBytes, "request body limit in bytes")
 	maxBatch := fs.Int("max-batch", service.DefaultMaxBatchSpecs, "max specs per /schedule/batch request")
@@ -82,13 +85,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cfg := service.Config{
 		MaxInflight:     *inflight,
 		CacheSize:       *cacheSize,
+		CacheBytes:      *cacheBytes,
+		DisableColdTier: !*coldTier,
 		Timeout:         *timeout,
 		MaxBodyBytes:    *maxBody,
 		MaxBatchSpecs:   *maxBatch,
+		MaxTableCells:   *maxTableCells,
 		PeerFillTimeout: *peerFillTimeout,
 	}
 	if *peerFill {
-		cfg.PeerFill = cluster.NewPeerFill(nil)
+		cfg.PeerFill = cluster.NewPeerFill(nil, *maxTableCells)
 	}
 	return serve(ctx, ln, cfg, *drain, out, opts)
 }
@@ -112,8 +118,8 @@ func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.
 	}
 	server := &http.Server{Handler: handler}
 
-	fmt.Fprintf(out, "pimserve: listening on %s (inflight %d, cache %d, timeout %v, peer-fill %v)\n",
-		ln.Addr(), cfg.MaxInflight, cfg.CacheSize, cfg.Timeout, cfg.PeerFill != nil)
+	fmt.Fprintf(out, "pimserve: listening on %s (inflight %d, cache %d, cache-bytes %d, cold-tier %v, timeout %v, peer-fill %v)\n",
+		ln.Addr(), cfg.MaxInflight, cfg.CacheSize, cfg.CacheBytes, !cfg.DisableColdTier, cfg.Timeout, cfg.PeerFill != nil)
 
 	var debugServer *http.Server
 	if opts.debugLn != nil {

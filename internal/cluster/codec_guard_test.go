@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// evilTableServer serves, for every GET /table/{fp} request, a
+// well-formed pimtab payload whose fingerprint matches the URL but
+// whose declared shape is 100x100x10 = 100k cells — modest on the wire,
+// but over any tight cell budget.
+func evilTableServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		parts := strings.Split(r.URL.Path, "/")
+		fp, err := trace.ParseFingerprint(parts[len(parts)-1])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		payload := cost.EncodeTable(fp, cost.NewResidenceTable(100, 100, 10))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(payload)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestPeerFillRejectsOversizedTablePayload is the GET /table/{fp} adopt
+// half of the DoS-guard fix: the peer-fill client used to decode any
+// payload under the codec's 1 GiB hard ceiling, so a compromised or
+// buggy peer could commit the adopting shard to an allocation its own
+// MaxTableCells guard would refuse. With the budget threaded through,
+// the decode must fail at the cell limit — before allocating.
+func TestPeerFillRejectsOversizedTablePayload(t *testing.T) {
+	ts := evilTableServer(t)
+	tr, err := trace.Decode(bytes.NewReader([]byte(clusterTrace(t, 2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := NewPeerFill(nil, 4096)
+	_, err = fill(context.Background(), tr.Fingerprint(), ts.URL)
+	if err == nil {
+		t.Fatal("peer fill adopted a table payload over the cell budget")
+	}
+	if !strings.Contains(err.Error(), "cell limit") {
+		t.Fatalf("error %q does not name the cell limit — the payload was rejected for the wrong reason", err)
+	}
+
+	// Unlimited (<= 0) keeps only the codec's hard ceiling, so the same
+	// payload decodes — which is exactly the pre-fix behaviour the
+	// budget exists to close off.
+	if _, err := NewPeerFill(nil, 0)(context.Background(), tr.Fingerprint(), ts.URL); err != nil {
+		t.Fatalf("unbudgeted peer fill rejected an in-ceiling payload: %v", err)
+	}
+}
+
+// TestScheduleFallsBackOnOversizedPeerTable drives the same guard end
+// to end through a schedule with a peer hint: the oversized payload is
+// refused, the shard falls back to a local build, and the request still
+// succeeds.
+func TestScheduleFallsBackOnOversizedPeerTable(t *testing.T) {
+	ts := evilTableServer(t)
+	svc := service.New(service.Config{
+		MaxTableCells: 4096,
+		PeerFill:      NewPeerFill(nil, 4096),
+	})
+	defer svc.Close()
+	resp, err := svc.Schedule(context.Background(), service.Request{
+		Trace: clusterTrace(t, 2), Algorithm: "scds", PeerHint: ts.URL,
+	})
+	if err != nil {
+		t.Fatalf("schedule with oversized peer table: %v", err)
+	}
+	if resp.CacheHit {
+		t.Fatal("response claims a cache hit; the poisoned fill must have been a local build")
+	}
+	st := svc.Stats()
+	if st.TablesBuilt != 1 || st.PeerFillFallback != 1 || st.PeerFills != 0 {
+		t.Fatalf("stats after poisoned fill: built=%d fallbacks=%d fills=%d, want 1/1/0",
+			st.TablesBuilt, st.PeerFillFallback, st.PeerFills)
+	}
+}
+
+// TestPrefillRejectsOversizedPeerTable covers the POST /table/prefill
+// half: a replica push whose source serves an oversized table must be
+// refused at the cell limit and adopt nothing.
+func TestPrefillRejectsOversizedPeerTable(t *testing.T) {
+	ts := evilTableServer(t)
+	svc := service.New(service.Config{
+		MaxTableCells: 4096,
+		PeerFill:      NewPeerFill(nil, 4096),
+	})
+	defer svc.Close()
+	err := svc.Prefill(context.Background(), service.PrefillRequest{
+		Trace: clusterTrace(t, 2), PeerHint: ts.URL,
+	})
+	if err == nil {
+		t.Fatal("prefill adopted a table payload over the cell budget")
+	}
+	if !strings.Contains(err.Error(), "cell limit") {
+		t.Fatalf("error %q does not name the cell limit", err)
+	}
+	if st := svc.Stats(); st.TablesPrefilled != 0 {
+		t.Fatalf("tables_prefilled = %d after a rejected prefill, want 0", st.TablesPrefilled)
+	}
+}
+
+// TestPeerFillNegotiatesV2 pins the wire-format negotiation matrix on a
+// real service: no header (or junk) serves pimtab-v1, the negotiation
+// token serves pimtab-v2, and both decode to the same cells — so old
+// and new peers interoperate in either direction.
+func TestPeerFillNegotiatesV2(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	text := clusterTrace(t, 3)
+	if _, err := svc.Schedule(context.Background(), service.Request{Trace: text, Algorithm: "scds"}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Decode(bytes.NewReader([]byte(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := tr.Fingerprint()
+
+	get := func(codec string) []byte {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/table/"+fp.String(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if codec != "" {
+			req.Header.Set(service.TableCodecHeader, codec)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /table with codec %q: status %d", codec, resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.Bytes()
+	}
+
+	v1 := get("")
+	junk := get("pimtab-v9")
+	v2 := get(cost.TableCodecV2)
+	if !bytes.HasPrefix(v1, []byte("pimtab-v1\n")) || !bytes.HasPrefix(junk, []byte("pimtab-v1\n")) {
+		t.Fatal("unnegotiated GET /table did not serve pimtab-v1")
+	}
+	if !bytes.HasPrefix(v2, []byte("pimtab-v2\n")) {
+		t.Fatal("negotiated GET /table did not serve pimtab-v2")
+	}
+	if len(v2) >= len(v1) {
+		t.Fatalf("v2 payload (%d bytes) not smaller than v1 (%d bytes)", len(v2), len(v1))
+	}
+	fp1, t1, err := cost.DecodeTableAny(v1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, t2, err := cost.DecodeTableAny(v2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp || fp2 != fp {
+		t.Fatal("served payloads carry the wrong fingerprint")
+	}
+	c1, c2 := t1.Cells(), t2.Cells()
+	if len(c1) != len(c2) {
+		t.Fatalf("cell counts differ: v1 %d, v2 %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("cell %d differs across codecs: v1 %d, v2 %d", i, c1[i], c2[i])
+		}
+	}
+}

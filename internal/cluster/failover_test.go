@@ -434,7 +434,7 @@ func TestPeerFillStallFallsBackWithinDeadline(t *testing.T) {
 
 	baseline := runtime.NumGoroutine()
 	svc := service.New(service.Config{
-		PeerFill:        NewPeerFill(nil),
+		PeerFill:        NewPeerFill(nil, 0),
 		PeerFillTimeout: 150 * time.Millisecond,
 	})
 	defer svc.Close()

@@ -128,7 +128,7 @@ type clusterHarness struct {
 
 func newClusterHarness(t testing.TB, numBackends int, healthInterval time.Duration) *clusterHarness {
 	t.Helper()
-	fill := NewPeerFill(nil)
+	fill := NewPeerFill(nil, 0)
 	h := &clusterHarness{}
 	urls := make([]string, numBackends)
 	for i := 0; i < numBackends; i++ {

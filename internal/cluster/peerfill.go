@@ -17,13 +17,17 @@ import (
 const maxPeerTableBytes = 1 << 30
 
 // NewPeerFill returns the service.PeerFillFunc a shard installs to
-// adopt tables from peers: GET {peer}/table/{fingerprint}, decode the
-// version-tagged flat codec, and verify the echoed fingerprint. Every
-// failure is an error — the service treats any error as a silent
-// fallback to a local build, so this client never needs to be clever.
-// The caller's context carries the fetch deadline
-// (service.Config.PeerFillTimeout).
-func NewPeerFill(client *http.Client) service.PeerFillFunc {
+// adopt tables from peers: GET {peer}/table/{fingerprint}, negotiating
+// the compressed pimtab-v2 codec (a v1-only peer ignores the header and
+// sends flat tables; both decode), and verify the echoed fingerprint.
+// maxTableCells bounds the cell count a payload's header may declare —
+// pass the same value as service.Config.MaxTableCells, so a shard never
+// adopts a table its own trace guards would refuse to build (<= 0 means
+// only the codec's 1 GiB hard ceiling applies). Every failure is an
+// error — the service treats any error as a silent fallback to a local
+// build, so this client never needs to be clever. The caller's context
+// carries the fetch deadline (service.Config.PeerFillTimeout).
+func NewPeerFill(client *http.Client, maxTableCells int64) service.PeerFillFunc {
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
 	}
@@ -32,6 +36,7 @@ func NewPeerFill(client *http.Client) service.PeerFillFunc {
 		if err != nil {
 			return cost.ResidenceTable{}, fmt.Errorf("cluster: peer fill: %w", err)
 		}
+		req.Header.Set(service.TableCodecHeader, cost.TableCodecV2)
 		resp, err := client.Do(req)
 		if err != nil {
 			return cost.ResidenceTable{}, fmt.Errorf("cluster: peer fill: %w", err)
@@ -50,7 +55,7 @@ func NewPeerFill(client *http.Client) service.PeerFillFunc {
 		if len(payload) > maxPeerTableBytes {
 			return cost.ResidenceTable{}, fmt.Errorf("cluster: peer fill: table exceeds %d bytes", maxPeerTableBytes)
 		}
-		gotFP, table, err := cost.DecodeTable(payload)
+		gotFP, table, err := cost.DecodeTableAny(payload, maxTableCells)
 		if err != nil {
 			return cost.ResidenceTable{}, fmt.Errorf("cluster: peer fill: %w", err)
 		}

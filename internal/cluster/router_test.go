@@ -435,7 +435,7 @@ func TestRouterSessionPinning(t *testing.T) {
 // joiner adopts the cached table instead of rebuilding. Fleet-wide
 // tables_built stays at one per trace across the membership change.
 func TestRouterPeerFillAcrossChurn(t *testing.T) {
-	fill := NewPeerFill(nil)
+	fill := NewPeerFill(nil, 0)
 	mk := func() *backend { return newBackend(t, service.Config{PeerFill: fill}) }
 	backends := []*backend{mk(), mk(), mk()}
 	rt, ts := newTestRouter(t, RouterConfig{Backends: backendURLs(backends), PeerFill: true})

@@ -58,39 +58,172 @@ func EncodeTable(fp trace.Fingerprint, t ResidenceTable) []byte {
 // panics: a wrong magic, an impossible shape, a truncated cell stream
 // or trailing junk all yield descriptive errors, so a shard can treat
 // any decode failure as a peer-fill miss and build locally.
+//
+// It accepts only pimtab-v1; use DecodeTableAny where a peer may send
+// either version, or where a tighter cell budget than the codec's hard
+// ceiling must hold.
 func DecodeTable(data []byte) (trace.Fingerprint, ResidenceTable, error) {
-	var fp trace.Fingerprint
+	return decodeTableV1(data, MaxTableCodecCells)
+}
+
+// MaxTableCodecCells is the codec's hard cell ceiling (1 GiB of flat
+// cells). Decoders never exceed it even when asked for a larger budget.
+const MaxTableCodecCells = maxDecodedTableBytes / 8
+
+// decodeTableHeader validates the fixed header shared by both codec
+// versions (magic already checked by the caller) and returns the
+// fingerprint, shape, cell count, and the cell stream that follows.
+func decodeTableHeader(magic string, data []byte, maxCells int64) (fp trace.Fingerprint, nw, nd, np int, rest []byte, err error) {
 	if len(data) < tableCodecHeaderLen {
-		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload %d bytes, header needs %d", len(data), tableCodecHeaderLen)
+		return fp, 0, 0, 0, nil, fmt.Errorf("cost: table payload %d bytes, header needs %d", len(data), tableCodecHeaderLen)
 	}
-	if string(data[:len(tableCodecMagic)]) != tableCodecMagic {
-		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload has wrong magic %q", data[:len(tableCodecMagic)])
+	if string(data[:len(magic)]) != magic {
+		return fp, 0, 0, 0, nil, fmt.Errorf("cost: table payload has wrong magic %q", data[:len(magic)])
 	}
-	data = data[len(tableCodecMagic):]
+	data = data[len(magic):]
 	copy(fp[:], data[:len(fp)])
 	data = data[len(fp):]
-	nw := binary.LittleEndian.Uint64(data[0:])
-	nd := binary.LittleEndian.Uint64(data[8:])
-	np := binary.LittleEndian.Uint64(data[16:])
-	data = data[24:]
+	unw := binary.LittleEndian.Uint64(data[0:])
+	und := binary.LittleEndian.Uint64(data[8:])
+	unp := binary.LittleEndian.Uint64(data[16:])
+	rest = data[24:]
 
 	// Reject shapes that cannot be a real table before multiplying, so
 	// an adversarial header cannot overflow the cell count into a small
 	// allocation that the cell loop then indexes past.
 	const maxDim = math.MaxInt32
-	if nw > maxDim || nd > maxDim || np > maxDim {
-		return fp, ResidenceTable{}, fmt.Errorf("cost: table shape %dx%dx%d out of range", nw, nd, np)
+	if unw > maxDim || und > maxDim || unp > maxDim {
+		return fp, 0, 0, 0, nil, fmt.Errorf("cost: table shape %dx%dx%d out of range", unw, und, unp)
 	}
-	cellCount := nw * nd * np
-	if cellCount > maxDecodedTableBytes/8 {
-		return fp, ResidenceTable{}, fmt.Errorf("cost: table shape %dx%dx%d exceeds %d-byte cell limit", nw, nd, np, maxDecodedTableBytes)
+	if maxCells <= 0 || maxCells > MaxTableCodecCells {
+		maxCells = MaxTableCodecCells
 	}
-	if uint64(len(data)) != 8*cellCount {
-		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload carries %d cell bytes, shape %dx%dx%d needs %d", len(data), nw, nd, np, 8*cellCount)
+	if unw*und*unp > uint64(maxCells) {
+		return fp, 0, 0, 0, nil, fmt.Errorf("cost: table shape %dx%dx%d exceeds %d-cell limit", unw, und, unp, maxCells)
 	}
-	t := NewResidenceTable(int(nw), int(nd), int(np))
+	return fp, int(unw), int(und), int(unp), rest, nil
+}
+
+func decodeTableV1(data []byte, maxCells int64) (trace.Fingerprint, ResidenceTable, error) {
+	fp, nw, nd, np, rest, err := decodeTableHeader(tableCodecMagic, data, maxCells)
+	if err != nil {
+		return fp, ResidenceTable{}, err
+	}
+	cellCount := uint64(nw) * uint64(nd) * uint64(np)
+	if uint64(len(rest)) != 8*cellCount {
+		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload carries %d cell bytes, shape %dx%dx%d needs %d", len(rest), nw, nd, np, 8*cellCount)
+	}
+	t := NewResidenceTable(nw, nd, np)
 	for i := range t.cells {
-		t.cells[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+		t.cells[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
 	}
 	return fp, t, nil
+}
+
+// tableCodecV2Magic tags the compressed residence-table codec. The
+// header layout is identical to v1; only the cell stream differs.
+const tableCodecV2Magic = "pimtab-v2\n"
+
+// TableCodecV2 is the negotiation token clients send in the
+// X-Pim-Table-Codec request header (service.TableCodecHeader) to ask a
+// peer for the compressed codec.
+const TableCodecV2 = "pimtab-v2"
+
+// zigzag folds signed deltas into unsigned varint space: small
+// magnitudes of either sign encode short.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// EncodeTableV2 serializes a residence table into the compressed
+// pimtab-v2 wire format. The header matches v1 byte for byte except the
+// magic; the cell stream replaces fixed 8-byte cells with zig-zag
+// varint deltas:
+//
+//	magic "pimtab-v2\n"
+//	fingerprint            (32 bytes)
+//	numWindows, numData, numProcs  (8-byte little endian each)
+//	cells                  (one uvarint per cell, zig-zag encoded,
+//	                        row-major in the (w*nd+d)*np+c layout)
+//
+// Within each np-cell row a cell is the delta from the previous cell;
+// each row's first cell is the delta from the previous row's first cell
+// (the very first is absolute). Residence costs vary smoothly along
+// both axes, so paper-shaped tables land well under 8 bytes/cell.
+func EncodeTableV2(fp trace.Fingerprint, t ResidenceTable) []byte {
+	return AppendTableV2(make([]byte, 0, tableCodecHeaderLen+2*t.nw*t.nd*t.np), fp, t)
+}
+
+// AppendTableV2 appends the pimtab-v2 encoding of t to dst and returns
+// the extended slice, so callers with a reusable buffer avoid the
+// allocation EncodeTableV2 makes.
+func AppendTableV2(dst []byte, fp trace.Fingerprint, t ResidenceTable) []byte {
+	dst = append(dst, tableCodecV2Magic...)
+	dst = append(dst, fp[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.nw))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.nd))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.np))
+	cells, np := t.cells, t.np
+	var rowHead int64
+	for base := 0; base < len(cells); base += np {
+		prev := rowHead
+		for i, c := range cells[base : base+np] {
+			dst = binary.AppendUvarint(dst, zigzag(c-prev))
+			prev = c
+			if i == 0 {
+				rowHead = c
+			}
+		}
+	}
+	return dst
+}
+
+// DecodeTableV2 parses a pimtab-v2 payload under the codec's hard cell
+// ceiling. Like DecodeTable it never panics and yields descriptive
+// errors for wrong magic, impossible shapes, truncated cell streams,
+// and trailing junk.
+func DecodeTableV2(data []byte) (trace.Fingerprint, ResidenceTable, error) {
+	return decodeTableV2(data, MaxTableCodecCells)
+}
+
+func decodeTableV2(data []byte, maxCells int64) (trace.Fingerprint, ResidenceTable, error) {
+	fp, nw, nd, np, rest, err := decodeTableHeader(tableCodecV2Magic, data, maxCells)
+	if err != nil {
+		return fp, ResidenceTable{}, err
+	}
+	t := NewResidenceTable(nw, nd, np)
+	cells := t.cells
+	var rowHead int64
+	for base := 0; base < len(cells); base += np {
+		prev := rowHead
+		for i := range np {
+			u, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return fp, ResidenceTable{}, fmt.Errorf("cost: table cell stream truncated at cell %d of %d", base+i, len(cells))
+			}
+			rest = rest[n:]
+			prev += unzigzag(u)
+			cells[base+i] = prev
+			if i == 0 {
+				rowHead = prev
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fp, ResidenceTable{}, fmt.Errorf("cost: table payload carries %d trailing bytes after %d cells", len(rest), len(cells))
+	}
+	return fp, t, nil
+}
+
+// DecodeTableAny parses a residence table in either codec version,
+// dispatching on the magic, under a caller-supplied cell budget
+// (service.Config.MaxTableCells on every table-accepting path; <= 0
+// falls back to the codec's hard ceiling). A shape exceeding the budget
+// is rejected before any allocation, closing the asymmetry where a
+// shipped table could commit a shard to memory its own trace guards
+// would refuse.
+func DecodeTableAny(data []byte, maxCells int64) (trace.Fingerprint, ResidenceTable, error) {
+	if len(data) >= len(tableCodecV2Magic) && string(data[:len(tableCodecV2Magic)]) == tableCodecV2Magic {
+		return decodeTableV2(data, maxCells)
+	}
+	return decodeTableV1(data, maxCells)
 }

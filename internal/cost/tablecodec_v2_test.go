@@ -1,0 +1,246 @@
+package cost
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func sameTable(a, b ResidenceTable) bool {
+	return a.NumWindows() == b.NumWindows() && a.NumData() == b.NumData() &&
+		a.NumProcs() == b.NumProcs() &&
+		bytes.Equal(int64Bytes(a.Cells()), int64Bytes(b.Cells()))
+}
+
+func TestTableCodecV2RoundTrip(t *testing.T) {
+	shapes := []struct {
+		kind string
+		n    int
+		side int
+	}{
+		{"lu", 6, 3}, {"matsquare", 8, 4}, {"stencil", 10, 2}, {"code", 5, 3},
+	}
+	for _, sh := range shapes {
+		gen, err := workload.ByName(sh.kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := gen.Generate(sh.n, grid.Square(sh.side))
+		fp := tr.Fingerprint()
+		table := NewModel(tr).BuildResidenceTable()
+		payload := EncodeTableV2(fp, table)
+		gotFP, got, err := DecodeTableV2(payload)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", sh.kind, sh.n, err)
+		}
+		if gotFP != fp {
+			t.Fatalf("%s/%d: fingerprint %s, want %s", sh.kind, sh.n, gotFP, fp)
+		}
+		if !sameTable(got, table) {
+			t.Fatalf("%s/%d: decoded table differs from original", sh.kind, sh.n)
+		}
+	}
+}
+
+func TestTableCodecV2RoundTripExtremeCells(t *testing.T) {
+	var fp trace.Fingerprint
+	fp[3] = 0x7c
+	table := NewResidenceTable(2, 3, 4)
+	cells := table.Cells()
+	cells[0] = math.MinInt64
+	cells[1] = math.MaxInt64
+	cells[2] = -1
+	cells[len(cells)-1] = math.MaxInt64
+	cells[len(cells)-2] = math.MinInt64
+	_, got, err := DecodeTableV2(EncodeTableV2(fp, table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTable(got, table) {
+		t.Fatal("extreme cell values did not survive the round trip")
+	}
+}
+
+// TestDecodeTableAnyCrossDecode pins version negotiation: the same
+// table shipped in either codec decodes to identical cells through the
+// one entry point table-accepting endpoints use.
+func TestDecodeTableAnyCrossDecode(t *testing.T) {
+	fp, table := builtTable(t)
+	for _, tc := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"v1", EncodeTable(fp, table)},
+		{"v2", EncodeTableV2(fp, table)},
+	} {
+		gotFP, got, err := DecodeTableAny(tc.payload, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if gotFP != fp || !sameTable(got, table) {
+			t.Fatalf("%s: cross-decode mismatch", tc.name)
+		}
+	}
+	// Version-pinned decoders must refuse the other version's magic.
+	if _, _, err := DecodeTable(EncodeTableV2(fp, table)); err == nil || !strings.Contains(err.Error(), "wrong magic") {
+		t.Fatalf("DecodeTable accepted a v2 payload: %v", err)
+	}
+	if _, _, err := DecodeTableV2(EncodeTable(fp, table)); err == nil || !strings.Contains(err.Error(), "wrong magic") {
+		t.Fatalf("DecodeTableV2 accepted a v1 payload: %v", err)
+	}
+}
+
+// TestDecodeTableAnyCellLimit pins the uniform DoS guard: a payload
+// whose declared shape exceeds the caller's budget is rejected before
+// any cell allocation, in both codec versions.
+func TestDecodeTableAnyCellLimit(t *testing.T) {
+	fp, table := builtTable(t)
+	cells := int64(table.NumWindows()) * int64(table.NumData()) * int64(table.NumProcs())
+	for _, tc := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"v1", EncodeTable(fp, table)},
+		{"v2", EncodeTableV2(fp, table)},
+	} {
+		if _, _, err := DecodeTableAny(tc.payload, cells); err != nil {
+			t.Fatalf("%s: rejected a table exactly at the budget: %v", tc.name, err)
+		}
+		_, _, err := DecodeTableAny(tc.payload, cells-1)
+		if err == nil || !strings.Contains(err.Error(), "cell limit") {
+			t.Fatalf("%s: budget %d did not reject a %d-cell table: %v", tc.name, cells-1, cells, err)
+		}
+	}
+}
+
+func TestTableCodecV2RejectsCorruption(t *testing.T) {
+	fp, table := builtTable(t)
+	payload := EncodeTableV2(fp, table)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(p []byte) []byte { return nil }, "header needs"},
+		{"short header", func(p []byte) []byte { return p[:tableCodecHeaderLen-1] }, "header needs"},
+		{"wrong magic", func(p []byte) []byte {
+			q := append([]byte(nil), p...)
+			q[0] ^= 0xff
+			return q
+		}, "wrong magic"},
+		{"truncated cells", func(p []byte) []byte { return p[:len(p)-5] }, "truncated"},
+		{"trailing junk", func(p []byte) []byte { return append(append([]byte(nil), p...), 0, 1, 2) }, "trailing"},
+		{"oversized shape", func(p []byte) []byte {
+			q := append([]byte(nil), p...)
+			binary.LittleEndian.PutUint64(q[len(tableCodecV2Magic)+32:], 1<<62)
+			return q
+		}, "out of range"},
+		{"huge but in-range shape", func(p []byte) []byte {
+			q := append([]byte(nil), p...)
+			binary.LittleEndian.PutUint64(q[len(tableCodecV2Magic)+32:], 1<<31-1)
+			binary.LittleEndian.PutUint64(q[len(tableCodecV2Magic)+40:], 1<<31-1)
+			binary.LittleEndian.PutUint64(q[len(tableCodecV2Magic)+48:], 1<<31-1)
+			return q
+		}, "cell limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeTableV2(tc.mutate(payload))
+			if err == nil {
+				t.Fatal("DecodeTableV2 accepted a corrupt payload")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestTableCodecV2Compresses pins the tentpole's storage claim on a
+// paper-shaped table: delta+varint must land at no more than half the
+// flat encoding (the ≥2x acceptance bar), because the cold tier's whole
+// point is holding more tables per byte.
+func TestTableCodecV2Compresses(t *testing.T) {
+	gen, err := workload.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.Generate(16, grid.Square(4))
+	fp := tr.Fingerprint()
+	table := NewModel(tr).BuildResidenceTable()
+	flat := len(EncodeTable(fp, table))
+	comp := len(EncodeTableV2(fp, table))
+	if ratio := float64(flat) / float64(comp); ratio < 2 {
+		t.Fatalf("compression ratio %.2f (flat %d, v2 %d), want >= 2", ratio, flat, comp)
+	}
+}
+
+// FuzzTableCodecV2 feeds arbitrary payloads to DecodeTableV2: it must
+// never panic, and anything it accepts must survive a re-encode/decode
+// cycle with identical values. Unlike v1, byte identity is NOT required
+// — varints are non-canonical, so an over-long encoding decodes fine
+// but re-encodes shorter; value identity is the invariant.
+func FuzzTableCodecV2(f *testing.F) {
+	var fp trace.Fingerprint
+	f.Add([]byte{})
+	f.Add([]byte(tableCodecV2Magic))
+	f.Add(EncodeTableV2(fp, NewResidenceTable(0, 0, 0)))
+	f.Add(EncodeTableV2(fp, NewResidenceTable(1, 1, 1)))
+	f.Add(EncodeTableV2(fp, NewResidenceTable(2, 3, 4)))
+	f.Add(EncodeTable(fp, NewResidenceTable(2, 3, 4))) // v1 magic must be rejected, not crash
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, table, err := DecodeTableV2(data)
+		if err != nil {
+			return
+		}
+		fp2, table2, err := DecodeTableV2(EncodeTableV2(fp, table))
+		if err != nil {
+			t.Fatalf("re-decode of an accepted payload failed: %v", err)
+		}
+		if fp2 != fp || !sameTable(table2, table) {
+			t.Fatal("decode/encode/decode is not value-identity")
+		}
+	})
+}
+
+// BenchmarkTableCodecV2 measures encode and decode throughput and
+// reports the compression ratio over the v1 flat codec on a
+// paper-shaped table; scripts/bench.sh snapshots the ratio into
+// BENCH_CACHE.json.
+func BenchmarkTableCodecV2(b *testing.B) {
+	gen, err := workload.ByName("lu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := gen.Generate(16, grid.Square(4))
+	fp := tr.Fingerprint()
+	table := NewModel(tr).BuildResidenceTable()
+	flat := len(EncodeTable(fp, table))
+	payload := EncodeTableV2(fp, table)
+	ratio := float64(flat) / float64(len(payload))
+
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, len(payload))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendTableV2(buf[:0], fp, table)
+		}
+		b.ReportMetric(ratio, "ratio")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeTableV2(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(ratio, "ratio")
+	})
+}

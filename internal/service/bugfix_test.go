@@ -257,8 +257,8 @@ func TestCanceledWaiterDoesNotInflateSharedBuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	entry, builder := svc.cache.acquire(tr.Fingerprint())
-	if !builder {
+	entry, role, _ := svc.cache.acquire(tr.Fingerprint())
+	if role != cacheRoleBuilder {
 		t.Fatal("test did not win builder election on an empty cache")
 	}
 

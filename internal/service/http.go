@@ -87,6 +87,13 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // locally. Its value is the peer's base URL.
 const PeerHintHeader = "X-Pim-Peer"
 
+// TableCodecHeader names the request header a peer sends on GET
+// /table/{fingerprint} to negotiate the table codec version. Absent or
+// unrecognized means pimtab-v1 (every decoder this fleet ever shipped
+// reads it); the value cost.TableCodecV2 asks for the compressed codec,
+// which a cold-tier table serves without recompression.
+const TableCodecHeader = "X-Pim-Table-Codec"
+
 // scheduleError maps a Schedule/ScheduleBatch error onto its status.
 func (s *Service) scheduleError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
@@ -126,22 +133,23 @@ func (s *Service) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTableGet serves a cached residence table in the version-tagged
-// flat codec (cost.EncodeTable), the read side of peer cache-fill. A
-// fingerprint that is not resident — never seen, evicted, or still
-// being built — is a 404: the peer treats any non-200 as a miss and
-// builds locally, so this endpoint never blocks on an in-flight build.
+// codec the peer negotiated via TableCodecHeader (flat pimtab-v1 by
+// default), the read side of peer cache-fill. A fingerprint that is not
+// resident — never seen, evicted, or still being built — is a 404: the
+// peer treats any non-200 as a miss and builds locally, so this
+// endpoint never blocks on an in-flight build.
 func (s *Service) handleTableGet(w http.ResponseWriter, r *http.Request) {
 	fp, err := trace.ParseFingerprint(r.PathValue("fingerprint"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	entry, ok := s.cache.peek(fp)
+	wantV2 := strings.Contains(r.Header.Get(TableCodecHeader), cost.TableCodecV2)
+	payload, ok := s.cache.encodedTable(fp, wantV2)
 	if !ok {
 		httpError(w, http.StatusNotFound, "table not cached: "+fp.String())
 		return
 	}
-	payload := cost.EncodeTable(fp, entry.table)
 	s.tablesServed.Add(1)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))

@@ -42,22 +42,27 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	reg.GaugeFunc("pim_retry_after_seconds", "Backoff currently advertised on load-shed responses.",
 		func() float64 { return float64(s.retryAfterSeconds()) })
 
-	cacheCounter := func(pick func(hits, misses, shared, evictions uint64) uint64) func() uint64 {
-		return func() uint64 {
-			h, mi, sh, ev, _ := s.cache.counters()
-			return pick(h, mi, sh, ev)
-		}
+	cacheCounter := func(pick func(cacheStats) uint64) func() uint64 {
+		return func() uint64 { return pick(s.cache.counters()) }
 	}
-	reg.CounterFunc("pim_cache_hits_total", "Residence-table cache hits.",
-		cacheCounter(func(h, _, _, _ uint64) uint64 { return h }))
+	reg.CounterFunc("pim_cache_hits_total", "Residence-table cache hits (flat hot-tier hits and cold-tier promotions).",
+		cacheCounter(func(cs cacheStats) uint64 { return cs.hits }))
 	reg.CounterFunc("pim_cache_misses_total", "Residence-table cache misses.",
-		cacheCounter(func(_, mi, _, _ uint64) uint64 { return mi }))
+		cacheCounter(func(cs cacheStats) uint64 { return cs.misses }))
 	reg.CounterFunc("pim_cache_shared_builds_total", "Concurrent misses that piggybacked on an in-flight build.",
-		cacheCounter(func(_, _, sh, _ uint64) uint64 { return sh }))
+		cacheCounter(func(cs cacheStats) uint64 { return cs.sharedBuilds }))
 	reg.CounterFunc("pim_cache_evictions_total", "Residence-table cache evictions.",
-		cacheCounter(func(_, _, _, ev uint64) uint64 { return ev }))
-	reg.GaugeFunc("pim_cache_entries", "Residence-table cache entries resident.",
-		func() float64 { _, _, _, _, n := s.cache.counters(); return float64(n) })
+		cacheCounter(func(cs cacheStats) uint64 { return cs.evictions }))
+	reg.CounterFunc("pim_cache_demotions_total", "Hot tables compressed into the cold tier under byte pressure.",
+		cacheCounter(func(cs cacheStats) uint64 { return cs.demotions }))
+	reg.CounterFunc("pim_cache_promotions_total", "Cold tables decoded back to the hot tier on demand.",
+		cacheCounter(func(cs cacheStats) uint64 { return cs.promotions }))
+	reg.CounterFunc("pim_cache_admission_rejects_total", "Newly cached tables dropped because the eviction victim was hotter.",
+		cacheCounter(func(cs cacheStats) uint64 { return cs.admissionRejects }))
+	reg.GaugeFunc("pim_cache_entries", "Residence-table cache entries resident across both tiers.",
+		func() float64 { return float64(s.cache.counters().entries()) })
+	reg.GaugeFunc("pim_cache_bytes", "Bytes of cached residence tables (flat hot cells plus compressed cold payloads).",
+		func() float64 { return float64(s.cache.counters().bytes) })
 
 	reg.CounterFunc("pim_batches_total", "Batch schedule requests completed.", s.batches.Load)
 	reg.CounterFunc("pim_batch_specs_total", "Request specs completed inside batches.", s.batchSpecs.Load)

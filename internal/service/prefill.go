@@ -64,8 +64,8 @@ func (s *Service) Prefill(ctx context.Context, req PrefillRequest) error {
 	defer s.wg.Done()
 
 	fp := tr.Fingerprint()
-	if _, ok := s.cache.peek(fp); ok {
-		return nil // already resident; nothing to transfer
+	if s.cache.resident(fp) {
+		return nil // already resident (either tier); nothing to transfer
 	}
 
 	fetchCtx, cancel := context.WithTimeout(context.Background(), s.cfg.peerFillTimeout())

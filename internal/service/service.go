@@ -52,6 +52,12 @@ const (
 	// (cost.DecodeTable), so any table a shard will build is also one a
 	// peer can ship.
 	DefaultMaxTableCells = 128 << 20
+
+	// DefaultTableBytes is the per-table allowance used to derive the
+	// byte budget when Config.CacheBytes is unset: CacheSize tables of
+	// this size keep the default deployment's memory ceiling in the same
+	// regime the entry-capped cache had.
+	DefaultTableBytes = 4 << 20
 )
 
 // ErrOverloaded is returned when MaxInflight computations are already
@@ -84,8 +90,22 @@ type Config struct {
 	MaxInflight int
 
 	// CacheSize is the number of {model, residence table} entries the
-	// fingerprint-keyed LRU holds; <= 0 means DefaultCacheSize.
+	// fingerprint-keyed LRU holds across both tiers; <= 0 means
+	// DefaultCacheSize. Entries over the cap are evicted outright.
 	CacheSize int
+
+	// CacheBytes bounds the summed bytes of cached residence tables:
+	// flat cells in the hot tier, compressed pimtab-v2 payloads in the
+	// cold tier. Over budget, hot tables are demoted (compressed, kept
+	// resident) before anything is evicted. <= 0 derives
+	// CacheSize x DefaultTableBytes.
+	CacheBytes int64
+
+	// DisableColdTier reverts to a flat one-tier LRU under the same
+	// byte budget: over-budget tables are evicted instead of demoted.
+	// An ablation and benchmarking knob (scripts/bench.sh uses it to
+	// measure what the cold tier saves), not a production setting.
+	DisableColdTier bool
 
 	// Timeout is the server-side deadline applied to every request on
 	// top of the caller's context; <= 0 means none.
@@ -151,6 +171,13 @@ func (c Config) cacheSize() int {
 		return DefaultCacheSize
 	}
 	return c.CacheSize
+}
+
+func (c Config) cacheBytes() int64 {
+	if c.CacheBytes <= 0 {
+		return int64(c.cacheSize()) * DefaultTableBytes
+	}
+	return c.CacheBytes
 }
 
 func (c Config) maxBodyBytes() int64 {
@@ -228,31 +255,37 @@ type Response struct {
 
 // Stats is a snapshot of the service's counters, served at /stats.
 type Stats struct {
-	Requests         uint64 `json:"requests"`
-	Completed        uint64 `json:"completed"`
-	RejectedOverload uint64 `json:"rejected_overload"`
-	RejectedClosed   uint64 `json:"rejected_closed"`
-	BadRequests      uint64 `json:"bad_requests"`
-	DeadlineExpired  uint64 `json:"deadline_expired"`
-	Errors           uint64 `json:"errors"`
-	Inflight         int64  `json:"inflight"`
-	TablesBuilt      uint64 `json:"tables_built"`
-	CacheHits        uint64 `json:"cache_hits"`
-	CacheMisses      uint64 `json:"cache_misses"`
-	CacheSharedBuild uint64 `json:"cache_shared_builds"`
-	CacheEvictions   uint64 `json:"cache_evictions"`
-	CacheEntries     int    `json:"cache_entries"`
-	SessionsCreated  uint64 `json:"sessions_created"`
-	SessionsActive   int    `json:"sessions_active"`
-	DeltasApplied    uint64 `json:"deltas_applied"`
-	Batches          uint64 `json:"batches"`
-	BatchSpecs       uint64 `json:"batch_specs"`
-	PeerFills        uint64 `json:"peer_fills"`
-	PeerFillFallback uint64 `json:"peer_fill_fallbacks"`
-	TablesServed     uint64 `json:"tables_served"`
-	TablesPrefilled  uint64 `json:"tables_prefilled"`
-	SessionsExported uint64 `json:"sessions_exported"`
-	SessionsImported uint64 `json:"sessions_imported"`
+	Requests          uint64 `json:"requests"`
+	Completed         uint64 `json:"completed"`
+	RejectedOverload  uint64 `json:"rejected_overload"`
+	RejectedClosed    uint64 `json:"rejected_closed"`
+	BadRequests       uint64 `json:"bad_requests"`
+	DeadlineExpired   uint64 `json:"deadline_expired"`
+	Errors            uint64 `json:"errors"`
+	Inflight          int64  `json:"inflight"`
+	TablesBuilt       uint64 `json:"tables_built"`
+	CacheHits         uint64 `json:"cache_hits"`
+	CacheMisses       uint64 `json:"cache_misses"`
+	CacheSharedBuild  uint64 `json:"cache_shared_builds"`
+	CacheEvictions    uint64 `json:"cache_evictions"`
+	CacheEntries      int    `json:"cache_entries"`
+	CacheHotEntries   int    `json:"cache_hot_entries"`
+	CacheColdEntries  int    `json:"cache_cold_entries"`
+	CacheBytes        int64  `json:"cache_bytes"`
+	CacheDemotions    uint64 `json:"cache_demotions"`
+	CachePromotions   uint64 `json:"cache_promotions"`
+	CacheAdmitRejects uint64 `json:"cache_admission_rejects"`
+	SessionsCreated   uint64 `json:"sessions_created"`
+	SessionsActive    int    `json:"sessions_active"`
+	DeltasApplied     uint64 `json:"deltas_applied"`
+	Batches           uint64 `json:"batches"`
+	BatchSpecs        uint64 `json:"batch_specs"`
+	PeerFills         uint64 `json:"peer_fills"`
+	PeerFillFallback  uint64 `json:"peer_fill_fallbacks"`
+	TablesServed      uint64 `json:"tables_served"`
+	TablesPrefilled   uint64 `json:"tables_prefilled"`
+	SessionsExported  uint64 `json:"sessions_exported"`
+	SessionsImported  uint64 `json:"sessions_imported"`
 }
 
 // Service is a concurrent scheduling service. Create one with New; it
@@ -319,7 +352,7 @@ type Service struct {
 
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
-	s := &Service{cfg: cfg, cache: newTableCache(cfg.cacheSize())}
+	s := &Service{cfg: cfg, cache: newTableCache(cfg.cacheSize(), cfg.cacheBytes(), !cfg.DisableColdTier)}
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -414,7 +447,11 @@ func (s *Service) Stats() Stats {
 		SessionsExported: s.sessionsExported.Load(),
 		SessionsImported: s.sessionsImported.Load(),
 	}
-	st.CacheHits, st.CacheMisses, st.CacheSharedBuild, st.CacheEvictions, st.CacheEntries = s.cache.counters()
+	cs := s.cache.counters()
+	st.CacheHits, st.CacheMisses, st.CacheSharedBuild = cs.hits, cs.misses, cs.sharedBuilds
+	st.CacheEvictions, st.CacheEntries = cs.evictions, cs.entries()
+	st.CacheHotEntries, st.CacheColdEntries, st.CacheBytes = cs.hotEntries, cs.coldEntries, cs.bytes
+	st.CacheDemotions, st.CachePromotions, st.CacheAdmitRejects = cs.demotions, cs.promotions, cs.admissionRejects
 	return st
 }
 
@@ -532,11 +569,11 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 		}
 		bd := p.Model.Evaluate(schedule)
 		resp := &Response{
-			Algorithm:   scheduler.Name(),
-			Grid:        tr.Grid.String(),
-			NumData:     tr.NumData,
-			NumWindows:  tr.NumWindows(),
-			Capacity:    req.Capacity,
+			Algorithm:    scheduler.Name(),
+			Grid:         tr.Grid.String(),
+			NumData:      tr.NumData,
+			NumWindows:   tr.NumWindows(),
+			Capacity:     req.Capacity,
 			Centers:      schedule.Centers,
 			Cost:         CostJSON{Residence: bd.Residence, Move: bd.Move, Total: bd.Total()},
 			Fingerprint:  fp.String(),
@@ -576,13 +613,16 @@ func (s *Service) schedule(ctx context.Context, req Request) (*Response, error) 
 
 // resolveTable resolves a fingerprint against the table cache. The
 // elected builder first tries a peer fill when a hint is present,
-// falling back silently to a local build; non-builders either find the
-// entry ready (hit) or wait out the in-flight build (shared build).
-// The returned entry is always ready. The caller settles the returned
-// outcome into the cache counters once its request completes.
+// falling back silently to a local build; an elected promoter decodes
+// the cold tier's compressed payload back to a flat table; everyone
+// else either finds the entry ready (hit) or waits out the in-flight
+// work (shared build). The returned entry is always ready. The caller
+// settles the returned outcome into the cache counters once its
+// request completes.
 func (s *Service) resolveTable(stages obs.Stages, fp trace.Fingerprint, tr *trace.Trace, peerHint string) (*cacheEntry, cacheOutcome) {
-	entry, builder := s.cache.acquire(fp)
-	if builder {
+	entry, role, comp := s.cache.acquire(fp)
+	switch role {
+	case cacheRoleBuilder:
 		// The model outlives this request in the cache, so it must
 		// not capture a request-scoped sink: service histograms only.
 		m := cost.NewModel(tr)
@@ -599,6 +639,26 @@ func (s *Service) resolveTable(stages obs.Stages, fp trace.Fingerprint, tr *trac
 			sp.End()
 		}
 		return entry, cacheOutcomeBuild
+	case cacheRolePromoter:
+		// The cold tier held the table compressed; decode it instead of
+		// rebuilding. The model was dropped at demotion (it is as large
+		// as the table) and is rebuilt from the trace here.
+		m := cost.NewModel(tr)
+		m.Stages = s.stages
+		sp := stages.Start("table.promote")
+		table, err := s.decodePromoted(comp, fp, tr)
+		sp.End()
+		if err != nil {
+			// A shard decoding a payload it compressed itself should
+			// never get here; treat it as a miss and rebuild rather
+			// than failing the request.
+			sp := stages.Start("table.build")
+			table = m.BuildResidenceTable()
+			s.tablesBuilt.Add(1)
+			sp.End()
+		}
+		s.cache.publish(entry, m, table)
+		return entry, cacheOutcomePromote
 	}
 	select {
 	case <-entry.ready:
@@ -616,6 +676,27 @@ func (s *Service) resolveTable(stages obs.Stages, fp trace.Fingerprint, tr *trac
 		sp.End()
 		return entry, cacheOutcomeShared
 	}
+}
+
+// decodePromoted decodes a cold-tier payload back to a flat table,
+// cross-checking the embedded fingerprint and the shape against the
+// request's trace — the same paranoia peer fill applies, because a
+// promoted table feeds schedules exactly like an adopted one.
+func (s *Service) decodePromoted(comp []byte, fp trace.Fingerprint, tr *trace.Trace) (cost.ResidenceTable, error) {
+	gotFP, table, err := cost.DecodeTableAny(comp, s.cfg.maxTableCells())
+	if err != nil {
+		return cost.ResidenceTable{}, err
+	}
+	if gotFP != fp {
+		return cost.ResidenceTable{}, fmt.Errorf("cold table is for %s, want %s", gotFP, fp)
+	}
+	if table.NumWindows() != tr.NumWindows() || table.NumData() != tr.NumData ||
+		table.NumProcs() != tr.Grid.NumProcs() {
+		return cost.ResidenceTable{}, fmt.Errorf("cold table shape %dx%dx%d does not match trace %dx%dx%d",
+			table.NumWindows(), table.NumData(), table.NumProcs(),
+			tr.NumWindows(), tr.NumData, tr.Grid.NumProcs())
+	}
+	return table, nil
 }
 
 // fetchPeerTable asks the hinted peer for its cached table, bounded by

@@ -13,7 +13,13 @@
 # FAIL the snapshot if they ever allocate) — prints the raw
 # benchstat-compatible output, and records the metrics in
 # BENCH_RESIDENCE.json, BENCH_SCHED.json, BENCH_DELTA.json and
-# BENCH_SERVE.json. Compare two runs with:
+# BENCH_SERVE.json. It then measures the two-tier table cache into
+# BENCH_CACHE.json: pimtab-v2 codec throughput and compression ratio
+# (hard gate: >= 2x on the paper-shaped lu/16 table), the cold-hit
+# promotion latency, and a two-process Zipf rebuild comparison at a
+# tight byte budget (hard gate: the cold tier rebuilds >= 3x fewer
+# tables than the flat LRU under the identical seeded load). Compare
+# two runs with:
 #
 #	scripts/bench.sh > old.txt   # on the baseline commit
 #	scripts/bench.sh > new.txt
@@ -223,6 +229,126 @@ END {
 	printf "}\n"
 }')"
 
+echo
+echo "== two-tier table cache =="
+RAW_CODEC="$(go test -run '^$' -bench '^BenchmarkTableCodecV2$' -benchmem -count "$COUNT" ./internal/cost)"
+echo "$RAW_CODEC"
+RAW_COLD="$(go test -run '^$' -bench '^BenchmarkScheduleColdHit$' -benchmem -count "$COUNT" ./internal/service)"
+echo "$RAW_COLD"
+
+# Rebuild comparison: two real pimserve processes at the same tight byte
+# budget — one with the cold tier, one flat (-cold-tier=false) — driven
+# with the identical seeded Zipf load, so the only variable is what the
+# cache does under pressure. The budget (170 KB against a ~1 MB flat
+# working set of 64 tables) is where the flat entry-LRU demonstrably
+# thrashes; the cold tier holds the whole set compressed.
+CACHE_BUDGET="${BENCH_CACHE_BUDGET:-170000}"
+CACHE_REQUESTS="${BENCH_CACHE_REQUESTS:-2000}"
+CACHE_TRACES="${BENCH_CACHE_TRACES:-64}"
+CACHE_ZIPF="${BENCH_CACHE_ZIPF:-1.05}"
+CACHE_DIR="$(mktemp -d)"
+go build -o "$CACHE_DIR/pimserve" ./cmd/pimserve
+go build -o "$CACHE_DIR/pimload" ./cmd/pimload
+CACHE_PIDS=()
+cache_cleanup() {
+	for pid in "${CACHE_PIDS[@]:-}"; do kill -TERM "$pid" 2>/dev/null || true; done
+	for pid in "${CACHE_PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+	rm -rf "$CACHE_DIR"
+}
+trap cache_cleanup EXIT
+cache_addr() { # LOGFILE
+	local addr=""
+	for _ in $(seq 100); do
+		addr="$(sed -n 's/^pimserve: listening on \([^ ,]*\).*/\1/p' "$1")"
+		[ -n "$addr" ] && curl -sf "http://$addr/healthz" >/dev/null 2>&1 && { echo "$addr"; return 0; }
+		sleep 0.1
+	done
+	echo "bench.sh: pimserve never came up" >&2; cat "$1" >&2; return 1
+}
+"$CACHE_DIR/pimserve" -addr 127.0.0.1:0 -cache 128 -cache-bytes "$CACHE_BUDGET" \
+	>"$CACHE_DIR/tiered.log" 2>&1 &
+CACHE_PIDS+=($!)
+"$CACHE_DIR/pimserve" -addr 127.0.0.1:0 -cache 128 -cache-bytes "$CACHE_BUDGET" -cold-tier=false \
+	>"$CACHE_DIR/flat.log" 2>&1 &
+CACHE_PIDS+=($!)
+TIERED_ADDR="$(cache_addr "$CACHE_DIR/tiered.log")"
+FLAT_ADDR="$(cache_addr "$CACHE_DIR/flat.log")"
+echo "zipf load: $CACHE_REQUESTS requests, $CACHE_TRACES traces, s=$CACHE_ZIPF, budget ${CACHE_BUDGET}B"
+"$CACHE_DIR/pimload" -url "http://$TIERED_ADDR" -requests "$CACHE_REQUESTS" -concurrency 8 \
+	-traces "$CACHE_TRACES" -zipf "$CACHE_ZIPF" -seed 42 >/dev/null
+"$CACHE_DIR/pimload" -url "http://$FLAT_ADDR" -requests "$CACHE_REQUESTS" -concurrency 8 \
+	-traces "$CACHE_TRACES" -zipf "$CACHE_ZIPF" -seed 42 >/dev/null
+stat_of() { # ADDR KEY
+	curl -sf "http://$1/stats" | tr -d '\n' | sed -n "s/.*\"$2\": *\([0-9]*\).*/\1/p"
+}
+TIERED_BUILT="$(stat_of "$TIERED_ADDR" tables_built)"
+TIERED_HITS="$(stat_of "$TIERED_ADDR" cache_hits)"
+TIERED_PROMOTIONS="$(stat_of "$TIERED_ADDR" cache_promotions)"
+FLAT_BUILT="$(stat_of "$FLAT_ADDR" tables_built)"
+FLAT_HITS="$(stat_of "$FLAT_ADDR" cache_hits)"
+cache_cleanup
+trap - EXIT
+echo "two-tier built $TIERED_BUILT tables ($TIERED_PROMOTIONS promotions); flat built $FLAT_BUILT"
+
+CACHE_SUMMARY="$({ echo "$RAW_CODEC"; echo "$RAW_COLD"; } | awk -v count="$COUNT" \
+	-v budget="$CACHE_BUDGET" -v reqs="$CACHE_REQUESTS" -v traces="$CACHE_TRACES" -v zipf="$CACHE_ZIPF" \
+	-v tbuilt="$TIERED_BUILT" -v thits="$TIERED_HITS" -v tpromo="$TIERED_PROMOTIONS" \
+	-v fbuilt="$FLAT_BUILT" -v fhits="$FLAT_HITS" '
+function metric(unit,   i) {
+	for (i = 2; i <= NF; i++) {
+		if ($i == unit) {
+			return $(i - 1)
+		}
+	}
+	return 0
+}
+/^BenchmarkTableCodecV2\/encode/ { enc += $3; ratio += metric("ratio"); nenc++ }
+/^BenchmarkTableCodecV2\/decode/ { dec += $3; ndec++ }
+/^BenchmarkScheduleColdHit/      { cold += $3; cala += metric("allocs/op"); ncold++ }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+END {
+	if (nenc == 0 || ndec == 0 || ncold == 0) {
+		print "bench.sh: no cache benchmark samples parsed" > "/dev/stderr"
+		exit 1
+	}
+	enc /= nenc; ratio /= nenc; dec /= ndec; cold /= ncold; cala /= ncold
+	# Hard gates, snapshot mode included: the compressed cold tier only
+	# earns its complexity if pimtab-v2 at least halves the paper-shaped
+	# table and the tight-budget Zipf run rebuilds at least 3x less than
+	# the flat LRU.
+	if (ratio < 2) {
+		printf "bench.sh: pimtab-v2 compression ratio %.2f below the 2x gate\n", ratio > "/dev/stderr"
+		exit 1
+	}
+	if (fbuilt < 3 * tbuilt) {
+		printf "bench.sh: two-tier rebuilds %d vs flat %d: below the 3x rebuild gate\n", tbuilt, fbuilt > "/dev/stderr"
+		exit 1
+	}
+	printf "{\n"
+	printf "  \"benchmark\": \"two-tier-table-cache\",\n"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"count\": %d,\n", count
+	printf "  \"codec_table\": \"lu/16 on 4x4\",\n"
+	printf "  \"codec_encode_ns_per_op\": %.0f,\n", enc
+	printf "  \"codec_decode_ns_per_op\": %.0f,\n", dec
+	printf "  \"codec_compression_ratio\": %.2f,\n", ratio
+	printf "  \"cold_hit_ns_per_op\": %.0f,\n", cold
+	printf "  \"cold_hit_allocs_per_op\": %.0f,\n", cala
+	printf "  \"zipf_budget_bytes\": %d,\n", budget
+	printf "  \"zipf_requests\": %d,\n", reqs
+	printf "  \"zipf_traces\": %d,\n", traces
+	printf "  \"zipf_s\": %s,\n", zipf
+	printf "  \"tiered_tables_built\": %d,\n", tbuilt
+	printf "  \"tiered_cache_hits\": %d,\n", thits
+	printf "  \"tiered_promotions\": %d,\n", tpromo
+	printf "  \"flat_tables_built\": %d,\n", fbuilt
+	printf "  \"flat_cache_hits\": %d,\n", fhits
+	printf "  \"rebuild_improvement\": %.2f\n", fbuilt / tbuilt
+	printf "}\n"
+}')"
+
 if [ "$CHECK" = 1 ]; then
 	check_drift BENCH_RESIDENCE.json separable_ns_per_op "$RES_SUMMARY"
 	check_drift BENCH_SCHED.json sweep_ns_per_op "$SCHED_SUMMARY"
@@ -231,6 +357,9 @@ if [ "$CHECK" = 1 ]; then
 	check_drift BENCH_SERVE.json hot_ns_per_op "$SERVE_SUMMARY"
 	check_drift BENCH_SERVE.json hot_p99_us "$SERVE_SUMMARY" us
 	check_drift BENCH_SERVE.json hot_allocs_per_op "$SERVE_SUMMARY" allocs/op
+	check_drift BENCH_CACHE.json codec_encode_ns_per_op "$CACHE_SUMMARY"
+	check_drift BENCH_CACHE.json cold_hit_ns_per_op "$CACHE_SUMMARY"
+	check_drift BENCH_CACHE.json tiered_tables_built "$CACHE_SUMMARY" tables
 	echo
 	echo "== cluster loadtest drift (scripts/loadtest.sh --check) =="
 	scripts/loadtest.sh --check
@@ -239,7 +368,8 @@ else
 	echo "$SCHED_SUMMARY" > BENCH_SCHED.json
 	echo "$DELTA_SUMMARY" > BENCH_DELTA.json
 	echo "$SERVE_SUMMARY" > BENCH_SERVE.json
+	echo "$CACHE_SUMMARY" > BENCH_CACHE.json
 	echo
-	echo "bench.sh: wrote BENCH_RESIDENCE.json, BENCH_SCHED.json, BENCH_DELTA.json and BENCH_SERVE.json"
-	cat BENCH_RESIDENCE.json BENCH_SCHED.json BENCH_DELTA.json BENCH_SERVE.json
+	echo "bench.sh: wrote BENCH_RESIDENCE.json, BENCH_SCHED.json, BENCH_DELTA.json, BENCH_SERVE.json and BENCH_CACHE.json"
+	cat BENCH_RESIDENCE.json BENCH_SCHED.json BENCH_DELTA.json BENCH_SERVE.json BENCH_CACHE.json
 fi

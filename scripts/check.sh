@@ -50,6 +50,18 @@ go test -run '^(TestResidenceRowIntoZeroAlloc|TestPatchEditItemZeroAlloc|TestPat
 go test -run '^(TestApplyEditItemZeroAlloc|TestScheduleIncrementalSuffixResumeAllocs)$' -v ./internal/delta
 go test -run '^TestScheduleSteadyStateAllocsBounded$' -v ./internal/service
 
+# Two-tier cache gates: the bit-identity referee (a schedule served via
+# a cold-tier promotion must match the flat-table schedule byte for
+# byte, without a rebuild) and the demote/promote/evict churn stress,
+# both under the race detector; plus the DoS-guard regressions proving
+# every table-ingesting endpoint (session import, peer-fill adopt,
+# prefill) refuses payloads over the cell budget before allocating.
+# All already ran under ./... above; the named gates survive narrower
+# invocations.
+echo "== two-tier cache gates (-race) =="
+go test -race -run '^(TestColdTierHitBitIdentical|TestCacheTierRaceStress|TestImportRejectsOversizedTablePayload)$' ./internal/service
+go test -race -run '^(TestPeerFillRejectsOversizedTablePayload|TestPrefillRejectsOversizedPeerTable|TestPeerFillNegotiatesV2)$' ./internal/cluster
+
 # Session-lifecycle race gates: an in-flight op racing DELETE
 # /session/{id} must end in a clean 404 with the sessions gauge and the
 # MaxSessions slot settling exactly once. The stress variant hammers
@@ -247,6 +259,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test -race -run '^$' -fuzz '^FuzzFingerprint$' -fuzztime "$FUZZTIME" ./internal/trace
 	go test -race -run '^$' -fuzz '^FuzzBatchDecode$' -fuzztime "$FUZZTIME" ./internal/service
 	go test -race -run '^$' -fuzz '^FuzzTableCodec$' -fuzztime "$FUZZTIME" ./internal/cost
+	go test -race -run '^$' -fuzz '^FuzzTableCodecV2$' -fuzztime "$FUZZTIME" ./internal/cost
 fi
 
 echo "check.sh: all gates passed"

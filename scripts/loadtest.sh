@@ -39,11 +39,12 @@ CONCURRENCY="${LOADTEST_CONCURRENCY:-8}"
 TRACES="${LOADTEST_TRACES:-8}"
 FACTOR="${LOADTEST_DRIFT_FACTOR:-3.0}"
 
-# pimload's deterministic generator yields 12 distinct trace shapes
-# before wrapping; beyond that the one-table-per-trace invariant below
-# would be counting shapes, not traces.
-if [ "$TRACES" -gt 12 ]; then
-	echo "loadtest.sh: LOADTEST_TRACES=$TRACES exceeds the 12 distinct shapes pimload generates" >&2
+# pimload's deterministic generator yields 96 distinct trace shapes
+# (4 kernels x 8 sizes x 3 grids) before refusing; beyond that the
+# one-table-per-trace invariant below would be counting shapes, not
+# traces.
+if [ "$TRACES" -gt 96 ]; then
+	echo "loadtest.sh: LOADTEST_TRACES=$TRACES exceeds the 96 distinct shapes pimload generates" >&2
 	exit 1
 fi
 
